@@ -1,0 +1,61 @@
+"""Ablation (§5.4, Fig 6): separable vs inseparable KvCache layout.
+
+Measures (1) the wasted decode steps an inseparable layout forces on
+ShareGPT-like response lengths, and (2) the end-to-end throughput cost by
+comparing the continuous engine against the static engine with *identical*
+kernels (both backbone-only), isolating the layout effect.
+"""
+
+import numpy as np
+
+from repro.baselines.framework import FASTER_TRANSFORMER, VLLM, build_engine
+from repro.bench.reporting import FigureTable
+from repro.kvcache.contiguous import wasted_decode_steps
+from repro.models.config import LLAMA2_7B
+from repro.runtime.serve import requests_from_trace, serve_requests
+from repro.workloads.lengths import ShareGptLengths
+from repro.workloads.trace import generate_trace
+
+
+def run_kvcache_ablation(n_requests: int = 96, seed: int = 0) -> FigureTable:
+    table = FigureTable(
+        figure_id="Ablation kvcache",
+        title="Separable (paged) vs inseparable (HF-layout) KvCache",
+        headers=["metric", "value"],
+    )
+    # (1) Analytic wasted steps for batches of 32 ShareGPT responses.
+    lengths = ShareGptLengths()
+    rng = np.random.default_rng(seed)
+    waste_fracs = []
+    for _ in range(50):
+        batch = [s.response_len for s in lengths.sample_batch(32, rng)]
+        waste_fracs.append(wasted_decode_steps(batch) / (32 * max(batch)))
+    table.add_row("mean wasted-step fraction (batch=32)", float(np.mean(waste_fracs)))
+
+    # (2) End-to-end: same kernels, different layout discipline.
+    trace = generate_trace(n_requests, "identical", seed=seed)
+    continuous = serve_requests(
+        build_engine(VLLM, LLAMA2_7B), requests_from_trace(trace), keep_steps=False
+    )
+    static = serve_requests(
+        build_engine(FASTER_TRANSFORMER, LLAMA2_7B),
+        requests_from_trace(trace),
+        keep_steps=False,
+    )
+    table.add_row("continuous (separable) tok/s", continuous.throughput)
+    table.add_row("static (inseparable) tok/s", static.throughput)
+    table.add_row("separable speedup", continuous.throughput / static.throughput)
+    return table
+
+
+def test_kvcache_separability(benchmark, emit):
+    table = benchmark.pedantic(
+        run_kvcache_ablation, rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(table)
+
+    rows = {r[0]: r[1] for r in table.rows}
+    # ShareGPT's heavy tail makes inseparable batches waste >40% of lanes.
+    assert rows["mean wasted-step fraction (batch=32)"] > 0.4
+    # The layout alone buys a substantial throughput win.
+    assert rows["separable speedup"] > 1.5

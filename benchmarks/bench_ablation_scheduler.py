@@ -1,0 +1,133 @@
+"""Scheduler ablations: consolidation migration, max batch size, prefill limit.
+
+Design choices DESIGN.md calls out:
+
+* §5.1 sets max batch size 32 as the throughput/latency sweet spot — swept.
+* §3 migrates periodically for consolidation — on/off, measuring how much
+  GPU time the cluster could release to the cloud provider.
+* §5 limits prefill to one request per invocation for latency — swept.
+"""
+
+import numpy as np
+
+from repro.bench.fig13_cluster import Fig13Scale, run_fig13_simulation
+from repro.bench.reporting import FigureTable
+from repro.cluster.scheduler import SchedulerConfig
+from repro.models.config import LLAMA2_7B
+from repro.runtime.backend import SimulatedBackend
+from repro.runtime.engine import EngineConfig, GpuEngine
+from repro.runtime.serve import requests_from_trace, serve_requests
+from repro.workloads.trace import generate_trace
+
+SCALE = Fig13Scale(num_gpus=4, duration=120.0, peak_rate=6.0, bucket=10.0)
+
+
+def _gpu_idle_fraction(result, num_gpus: int, bucket: float) -> float:
+    """Fraction of (gpu x bucket) cells with zero batch — releasable time."""
+    duration = result.duration
+    idle_cells = 0
+    total_cells = 0
+    for i in range(num_gpus):
+        gid = f"gpu{i:02d}"
+        series = result.metrics.batch_size_series(gid, bucket, duration)
+        for _, v in series:
+            total_cells += 1
+            idle_cells += v == 0.0
+    return idle_cells / total_cells if total_cells else 1.0
+
+
+def run_migration_ablation(seed: int = 0) -> FigureTable:
+    table = FigureTable(
+        figure_id="Ablation migration",
+        title="Consolidation migration on/off (4 GPUs, ramp load)",
+        headers=["consolidation", "migrations", "idle_gpu_fraction", "tok_per_s_peak"],
+    )
+    for consolidation in (True, False):
+        cfg = SchedulerConfig(consolidation=consolidation, migration_interval=5.0)
+        result, scale = run_fig13_simulation(
+            scale=SCALE, seed=seed, scheduler_config=cfg
+        )
+        tputs = [v for _, v in result.metrics.throughput_series(scale.bucket, result.duration)]
+        table.add_row(
+            "on" if consolidation else "off",
+            result.num_migrations,
+            _gpu_idle_fraction(result, scale.num_gpus, scale.bucket),
+            max(tputs) if tputs else 0.0,
+        )
+    return table
+
+
+def run_batch_size_sweep(seed: int = 0, n_requests: int = 96) -> FigureTable:
+    table = FigureTable(
+        figure_id="Ablation max batch size",
+        title="Max batch size sweep (single GPU, 7B, skewed workload)",
+        headers=["max_batch_size", "tok_per_s", "mean_step_ms"],
+    )
+    trace = generate_trace(n_requests, "skewed", seed=seed)
+    for max_bs in (1, 4, 8, 16, 32, 64):
+        engine = GpuEngine(
+            "gpu0", SimulatedBackend(LLAMA2_7B), EngineConfig(max_batch_size=max_bs)
+        )
+        result = serve_requests(engine, requests_from_trace(trace), keep_steps=True)
+        # Inter-token latency of a running request = the step time it waits.
+        steps = [s.latency for s in result.steps if s.num_decode > 0]
+        mean_step_ms = 1e3 * float(np.mean(steps)) if steps else 0.0
+        table.add_row(max_bs, result.throughput, mean_step_ms)
+    return table
+
+
+def run_prefill_limit_sweep(seed: int = 0, n_requests: int = 64) -> FigureTable:
+    table = FigureTable(
+        figure_id="Ablation prefill limit",
+        title="Prefills per invocation (paper uses 1 to bound latency)",
+        headers=["prefill_limit", "tok_per_s", "p99_latency_s_per_tok"],
+    )
+    trace = generate_trace(n_requests, "skewed", seed=seed)
+    for limit in (1, 2, 4, 8):
+        engine = GpuEngine(
+            "gpu0",
+            SimulatedBackend(LLAMA2_7B),
+            EngineConfig(max_batch_size=32, prefill_batch_limit=limit),
+        )
+        result = serve_requests(engine, requests_from_trace(trace), keep_steps=False)
+        table.add_row(limit, result.throughput, result.percentile_latency(99))
+    return table
+
+
+def test_migration_consolidates(benchmark, emit):
+    table = benchmark.pedantic(
+        run_migration_ablation, rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(table)
+    rows = {r[0]: r for r in table.rows}
+    assert rows["on"][1] > 0  # migrations actually happen
+    assert rows["off"][1] == 0
+    # Consolidation frees at least as much GPU time as no-consolidation.
+    assert rows["on"][2] >= rows["off"][2] - 0.02
+
+
+def test_batch_size_sweet_spot(benchmark, emit):
+    table = benchmark.pedantic(
+        run_batch_size_sweep, rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(table)
+    tput = {r[0]: r[1] for r in table.rows}
+    step = {r[0]: r[2] for r in table.rows}
+    # Throughput rises steeply to 32 then flattens (diminishing returns)...
+    assert tput[32] > 5 * tput[1]
+    assert tput[64] < 1.4 * tput[32]
+    # ...while the inter-token step time keeps rising with batch size — the
+    # throughput/latency tradeoff behind the paper's choice of 32.
+    assert step[64] > step[32] > step[8]
+
+
+def test_prefill_limit_tradeoff(benchmark, emit):
+    table = benchmark.pedantic(
+        run_prefill_limit_sweep, rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(table)
+    rows = {r[0]: r for r in table.rows}
+    # All limits finish the trace with throughput in the same band; the
+    # paper picks 1 for tail latency.
+    tputs = [rows[l][1] for l in (1, 2, 4, 8)]
+    assert max(tputs) < 1.6 * min(tputs)

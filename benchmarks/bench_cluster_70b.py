@@ -1,0 +1,89 @@
+"""Extension: cluster serving of 70B with tensor-parallel replica groups.
+
+Combines the paper's two multi-GPU results: Testbed #2's 16 A100-40G GPUs
+host two 8-way tensor-parallel Llama-2 70B replicas (Fig 12's parallel
+scheme), and the Punica scheduler treats each TP group as one schedulable
+unit under the Fig 13 ramp workload. Checks that consolidation and the
+throughput-tracks-load shape survive when the schedulable unit is a whole
+TP group.
+"""
+
+import numpy as np
+
+from repro.bench.reporting import FigureTable
+from repro.cluster.scheduler import SchedulerConfig
+from repro.cluster.simulator import ClusterSimulator
+from repro.hw.interconnect import NVLINK_A100
+from repro.hw.spec import A100_40G
+from repro.models.config import LLAMA2_70B
+from repro.models.tp import TensorParallelConfig
+from repro.runtime.backend import SimulatedBackend
+from repro.runtime.engine import EngineConfig, GpuEngine
+from repro.workloads.arrivals import PoissonArrivals, RampProfile
+from repro.workloads.trace import generate_trace
+
+NUM_GROUPS = 2
+TP_DEGREE = 8
+DURATION = 180.0
+PEAK_RATE = 4.0
+BUCKET = 15.0
+
+
+def run_cluster_70b(seed: int = 0) -> FigureTable:
+    tp = TensorParallelConfig(world_size=TP_DEGREE, interconnect=NVLINK_A100)
+    engines = [
+        GpuEngine(
+            f"tpgroup{i}",
+            SimulatedBackend(LLAMA2_70B, gpu=A100_40G, tp=tp),
+            EngineConfig(max_batch_size=32),
+        )
+        for i in range(NUM_GROUPS)
+    ]
+    arrivals = PoissonArrivals(
+        rate=RampProfile(duration=DURATION, peak_rate=PEAK_RATE, hold_fraction=0.2),
+        duration=DURATION,
+    )
+    trace = generate_trace(
+        int(DURATION * PEAK_RATE) + 32, "skewed", seed=seed, arrivals=arrivals
+    )
+    sim = ClusterSimulator(engines, SchedulerConfig(migration_interval=15.0))
+    result = sim.run(trace)
+
+    table = FigureTable(
+        figure_id="Cluster 70B",
+        title=f"{NUM_GROUPS}x TP-{TP_DEGREE} llama2-70b replicas, ramp load "
+              f"({NUM_GROUPS * TP_DEGREE} GPUs total)",
+        headers=["t_start_s", "req_per_s", "tok_per_s", "bs_group0", "bs_group1"],
+    )
+    rate = dict(result.metrics.request_rate_series(BUCKET, result.duration))
+    tput = dict(result.metrics.throughput_series(BUCKET, result.duration))
+    per_group = {
+        gid: dict(result.metrics.batch_size_series(gid, BUCKET, result.duration))
+        for gid in ("tpgroup0", "tpgroup1")
+    }
+    for t in sorted(rate):
+        table.add_row(
+            t, rate[t], tput.get(t, 0.0),
+            per_group["tpgroup0"].get(t, 0.0), per_group["tpgroup1"].get(t, 0.0),
+        )
+    table.add_note(f"requests finished: {result.finished_requests}/{len(trace)}")
+    table.add_note(f"migrations between TP groups: {result.num_migrations}")
+    return table
+
+
+def test_cluster_70b_tp_groups(benchmark, emit):
+    table = benchmark.pedantic(run_cluster_70b, rounds=1, iterations=1, warmup_rounds=0)
+    emit(table)
+
+    rates = table.column("req_per_s")
+    tputs = table.column("tok_per_s")
+    # Throughput tracks the ramp.
+    assert np.corrcoef(rates, tputs)[0, 1] > 0.8
+    # Consolidation: group1 (higher UUID) carries load first; group0 only
+    # joins when group1 saturates near the peak.
+    bs0 = table.column("bs_group0")
+    bs1 = table.column("bs_group1")
+    assert sum(bs1) > sum(bs0)
+    # Peak throughput lands in the hundreds of tok/s (cf. Fig 12's ~440/GPU
+    # group — two groups, minus ramp/queueing effects).
+    assert 300 < max(tputs) < 2000

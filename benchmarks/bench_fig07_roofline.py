@@ -1,0 +1,30 @@
+"""Figure 7 bench: SGMV roofline placement."""
+
+from repro.bench.fig07_roofline import run_fig07
+
+
+def test_fig07_roofline(benchmark, emit):
+    table = benchmark(run_fig07)
+    emit(table)
+
+    by_dist = {}
+    for dist, bs, intensity, achieved, roof in table.rows:
+        by_dist.setdefault(dist, {})[bs] = (intensity, achieved, roof)
+
+    # Distinct: intensity constant across batch sizes, throughput grows.
+    d = by_dist["distinct"]
+    assert abs(d[64][0] - d[1][0]) / d[1][0] < 0.02
+    assert d[64][1] > 5 * d[1][1]
+
+    # Identical: intensity grows with batch (weight reuse), rides bandwidth
+    # roof — bounded by h_in*h_out/(h_in+h_out) ~ 16 FLOP/byte as token IO
+    # starts to dominate.
+    i = by_dist["identical"]
+    assert i[64][0] > 10 * i[1][0]
+
+    # Nothing exceeds the roofline bound.
+    for dist, bs, intensity, achieved, roof in table.rows:
+        assert achieved <= roof * 1.0001, (dist, bs)
+
+    # Uniform/Skewed sit between Distinct and Identical at bs 64.
+    assert d[64][1] <= by_dist["uniform"][64][1] <= i[64][1] * 1.05

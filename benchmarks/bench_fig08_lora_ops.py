@@ -1,0 +1,61 @@
+"""Figure 8 bench: LoRA operator latency (modelled A100 + real NumPy kernels).
+
+Two layers of measurement: the modelled A100 latencies that reproduce the
+figure, and genuine pytest-benchmark wall-clock of the three *numerically
+real* implementations on this machine's CPU — confirming SGMV's IO
+argument holds for the NumPy implementations too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.fig08_lora_ops import run_fig08
+from repro.core.ops import add_lora_gather_bmm, add_lora_loop, add_lora_sgmv
+from repro.core.segments import segments_from_sizes
+from repro.utils.rng import new_rng
+from repro.workloads.popularity import segment_sizes_for
+
+
+def test_fig08_modelled_table(benchmark, emit):
+    table = benchmark(run_fig08)
+    emit(table)
+
+    rows = {(r[0], r[1]): r for r in table.rows}
+    # Paper endpoints: SGMV ~37us at bs1, flat for Identical.
+    sgmv_bs1 = rows[("distinct", 1)][4]
+    assert 30 < sgmv_bs1 < 45
+    assert rows[("identical", 64)][4] < 1.25 * sgmv_bs1
+    # SGMV beats Gather-BMM beats Loop on Distinct bs 64.
+    dist64 = rows[("distinct", 64)]
+    loop, gbmm, sgmv = dist64[2], dist64[3], dist64[4]
+    assert sgmv < gbmm < loop
+    assert loop > 10 * sgmv
+
+
+def _problem(dist, bs=64, h=1024, rank=16, seed=0):
+    sizes = segment_sizes_for(dist, bs)
+    seg = segments_from_sizes(sizes)
+    rng = new_rng(seed)
+    x = rng.standard_normal((bs, h)).astype(np.float32)
+    wa = rng.standard_normal((len(sizes), h, rank)).astype(np.float32)
+    wb = rng.standard_normal((len(sizes), rank, h)).astype(np.float32)
+    y = np.zeros((bs, h), dtype=np.float32)
+    return y, x, wa, wb, seg
+
+
+@pytest.mark.parametrize("dist", ["distinct", "identical"])
+def test_numpy_sgmv_kernel(benchmark, dist):
+    y, x, wa, wb, seg = _problem(dist)
+    benchmark(lambda: add_lora_sgmv(y, x, wa, wb, seg))
+
+
+@pytest.mark.parametrize("dist", ["distinct", "identical"])
+def test_numpy_loop_kernel(benchmark, dist):
+    y, x, wa, wb, seg = _problem(dist)
+    benchmark(lambda: add_lora_loop(y, x, wa, wb, seg))
+
+
+@pytest.mark.parametrize("dist", ["distinct", "identical"])
+def test_numpy_gather_bmm_kernel(benchmark, dist):
+    y, x, wa, wb, seg = _problem(dist)
+    benchmark(lambda: add_lora_gather_bmm(y, x, wa, wb, seg))

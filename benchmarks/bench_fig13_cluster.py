@@ -1,0 +1,31 @@
+"""Figure 13 bench: cluster deployment with ramp-up/ramp-down load."""
+
+from repro.bench.fig13_cluster import run_fig13
+
+
+def test_fig13_cluster(benchmark, emit):
+    table = benchmark.pedantic(run_fig13, rounds=1, iterations=1, warmup_rounds=0)
+    emit(table)
+
+    rows = table.rows
+    rates = [r[1] for r in rows]
+    tputs = [r[2] for r in rows]
+    actives = [r[3] for r in rows]
+
+    # The ramp: rate peaks mid-experiment.
+    peak = rates.index(max(rates))
+    assert 0 < peak < len(rates) - 1
+    assert rates[0] < max(rates) / 2 and rates[-1] < max(rates) / 2
+
+    # Throughput tracks the request rate (correlation of the two series).
+    import numpy as np
+    corr = np.corrcoef(rates, tputs)[0, 1]
+    assert corr > 0.85
+
+    # Consolidation: active-GPU count also ramps up then back down.
+    assert actives[peak] >= max(actives) - 1
+    assert actives[0] <= actives[peak] and actives[-1] <= actives[peak]
+
+    # Busy GPUs run large batches (paper: usually at the max batch size).
+    mean_batches = [r[4] for r in rows if r[4] > 0]
+    assert max(mean_batches) > 20  # near the max batch size of 32

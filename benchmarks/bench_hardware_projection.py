@@ -1,0 +1,65 @@
+"""Extension: project the paper's headline onto newer hardware.
+
+The analytical model makes "what if the testbed were H100s?" a one-line
+question: add a GpuSpec and rerun Fig 11. The qualitative claim — the
+multi-LoRA gap comes from batching, not from the device — should be
+invariant, while absolute tok/s scales with HBM bandwidth (decode is
+memory-bound).
+"""
+
+from repro.baselines.framework import PUNICA, VLLM, build_engine
+from repro.bench.reporting import FigureTable
+from repro.hw.spec import A100_80G, GpuSpec
+from repro.models.config import LLAMA2_7B
+from repro.runtime.serve import requests_from_trace, serve_requests
+from repro.utils.units import GB, GIB, TB
+from repro.workloads.trace import generate_trace
+
+#: H100 SXM: 989 TFLOP/s dense fp16, 3.35 TB/s HBM3. Kernel-level
+#: calibration constants (launch overheads etc.) are kept at A100 values —
+#: a conservative projection.
+H100_80G = GpuSpec(
+    name="H100-SXM5-80GB",
+    peak_fp16_flops=989 * TB,
+    hbm_bandwidth=3_350 * GB,
+    hbm_capacity=80 * GIB,
+    num_sms=132,
+)
+
+GPUS = (A100_80G, H100_80G)
+
+
+def run_hardware_projection(n_requests: int = 96, seed: int = 0) -> FigureTable:
+    table = FigureTable(
+        figure_id="HW projection",
+        title="Fig 11 Distinct workload projected across GPU generations (7B)",
+        headers=["gpu", "system", "tok_per_s", "punica_over_vllm"],
+    )
+    trace = generate_trace(n_requests, "distinct", seed=seed)
+    for gpu in GPUS:
+        tput = {}
+        for profile in (VLLM, PUNICA):
+            engine = build_engine(profile, LLAMA2_7B, gpu=gpu)
+            result = serve_requests(engine, requests_from_trace(trace), keep_steps=False)
+            tput[profile.name] = result.throughput
+        ratio = tput["punica"] / tput["vllm"]
+        for name, v in tput.items():
+            table.add_row(gpu.name, name, v, ratio if name == "punica" else "")
+    table.add_note("H100 keeps A100 launch-overhead calibration (conservative)")
+    return table
+
+
+def test_hardware_projection(benchmark, emit):
+    table = benchmark.pedantic(
+        run_hardware_projection, rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit(table)
+    tput = {(r[0], r[1]): r[2] for r in table.rows}
+    # Faster memory -> faster decode, for both systems.
+    assert tput[("H100-SXM5-80GB", "punica")] > 1.2 * tput[("A100-SXM4-80GB", "punica")]
+    assert tput[("H100-SXM5-80GB", "vllm")] > 1.2 * tput[("A100-SXM4-80GB", "vllm")]
+    # The multi-LoRA gap survives the hardware generation (within 2x).
+    ratios = [r[3] for r in table.rows if r[3] != ""]
+    assert len(ratios) == 2
+    assert 0.5 < ratios[1] / ratios[0] < 2.0
+    assert min(ratios) > 5.0

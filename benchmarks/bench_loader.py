@@ -1,0 +1,17 @@
+"""§5.2 bench: on-demand LoRA loading hides behind one decode step."""
+
+from repro.bench.loader_bench import run_loader_bench
+
+
+def test_loader_latency(benchmark, emit):
+    table = benchmark(run_loader_bench)
+    emit(table)
+
+    for model, layer_us, model_ms, step_ms, hidden in table.rows:
+        # Whole-model load stays within one decode step (the §5.2 argument
+        # for simple whole-model async loading over layer-by-layer).
+        assert hidden == "yes", model
+        assert model_ms < step_ms
+        # Order-of-magnitude check vs the paper's 50us/2ms quotes.
+        assert 20 < layer_us < 400
+        assert 1 < model_ms < 30

@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures: figure-table emission to terminal + files."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir, capsys):
+    """Print a FigureTable live (bypassing capture) and save it under
+    benchmarks/results/<figure_id>.txt so the artifact survives the run."""
+
+    def _emit(table) -> None:
+        text = table.render()
+        slug = (
+            table.figure_id.lower()
+            .replace(" ", "_")
+            .replace("§", "sec")
+            .replace(".", "_")
+        )
+        (results_dir / f"{slug}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _emit

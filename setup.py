@@ -1,0 +1,14 @@
+"""Legacy setup shim: this environment lacks the ``wheel`` package, so the
+PEP 660 editable-install path is unavailable; ``pip install -e . --no-use-pep517``
+uses this file instead. All real metadata lives in pyproject.toml."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,35 @@
+"""Baseline serving systems compared against Punica in §7.
+
+Each baseline is a :class:`FrameworkProfile` — a set of capability flags —
+plus an engine built from it. The same relaxations the paper grants apply
+here: FasterTransformer and vLLM run backbone-only (no LoRA compute at
+all), and model-switching costs are omitted for every baseline. The one
+capability no baseline has is Punica's: batching requests of *different*
+LoRA models into one invocation.
+"""
+
+from repro.baselines.framework import (
+    ALL_BASELINES,
+    ALL_SYSTEMS,
+    DEEPSPEED,
+    FASTER_TRANSFORMER,
+    HF_TRANSFORMERS,
+    PUNICA,
+    VLLM,
+    FrameworkProfile,
+    build_engine,
+)
+from repro.baselines.static_engine import StaticBatchEngine
+
+__all__ = [
+    "ALL_BASELINES",
+    "ALL_SYSTEMS",
+    "DEEPSPEED",
+    "FASTER_TRANSFORMER",
+    "FrameworkProfile",
+    "HF_TRANSFORMERS",
+    "PUNICA",
+    "StaticBatchEngine",
+    "VLLM",
+    "build_engine",
+]

@@ -1,0 +1,32 @@
+"""Figure/table runners: one module per evaluation artifact of the paper.
+
+Each ``run_figXX`` function computes the figure's series and returns a
+:class:`~repro.bench.reporting.FigureTable` whose ``render()`` prints the
+same rows the paper plots. The pytest-benchmark files under
+``benchmarks/`` call these, print the tables, and additionally measure the
+wall-clock of the real NumPy kernels.
+"""
+
+from repro.bench.fig01_batching import run_fig01
+from repro.bench.fig07_roofline import run_fig07
+from repro.bench.fig08_lora_ops import run_fig08
+from repro.bench.fig09_rank import run_fig09
+from repro.bench.fig10_layer import run_fig10
+from repro.bench.fig11_textgen import run_fig11
+from repro.bench.fig12_tp70b import run_fig12
+from repro.bench.fig13_cluster import run_fig13
+from repro.bench.loader_bench import run_loader_bench
+from repro.bench.reporting import FigureTable
+
+__all__ = [
+    "FigureTable",
+    "run_fig01",
+    "run_fig07",
+    "run_fig08",
+    "run_fig09",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_loader_bench",
+]

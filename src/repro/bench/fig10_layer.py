@@ -1,0 +1,47 @@
+"""Figure 10: transformer layer latency with the LoRA operator incorporated.
+
+7B and 13B layer latency at sequence lengths 512 and 2048, batch 1-32,
+four popularity distributions. Paper shape: latency nearly identical
+across workloads (the LoRA addon is small relative to dense projections +
+attention); batching effect stronger at the shorter sequence length (+72%
+over bs 1->32 at seq 512 for 7B).
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import FigureTable
+from repro.hw.kernels import KernelCostModel
+from repro.hw.spec import A100_80G, GpuSpec
+from repro.models.config import LLAMA2_7B, LLAMA2_13B, LlamaConfig
+from repro.models.perf import StepWorkload, transformer_layer_latency
+from repro.utils.units import US
+from repro.workloads.popularity import POPULARITY_NAMES, segment_sizes_for
+
+BATCH_SIZES = (1, 2, 4, 8, 16, 32)
+SEQ_LENS = (512, 2048)
+
+
+def run_fig10(
+    configs: "tuple[LlamaConfig, ...]" = (LLAMA2_7B, LLAMA2_13B),
+    gpu: GpuSpec = A100_80G,
+    seq_lens: "tuple[int, ...]" = SEQ_LENS,
+    batch_sizes: "tuple[int, ...]" = BATCH_SIZES,
+) -> FigureTable:
+    kcm = KernelCostModel(gpu)
+    table = FigureTable(
+        figure_id="Figure 10",
+        title=f"Transformer layer latency with LoRA ({gpu.name})",
+        headers=["model", "seq_len", "distribution", "batch_size", "layer_us"],
+    )
+    for config in configs:
+        for seq_len in seq_lens:
+            for dist in POPULARITY_NAMES:
+                for bs in batch_sizes:
+                    segs = tuple(segment_sizes_for(dist, bs))
+                    work = StepWorkload(
+                        decode_kv_lens=(seq_len,) * bs, lora_segments=segs
+                    )
+                    t = transformer_layer_latency(config, kcm, work)
+                    table.add_row(config.name, seq_len, dist, bs, t / US)
+    table.add_note("paper: +72% over bs 1->32 at seq 512 (7B); workloads nearly equal")
+    return table

@@ -1,0 +1,45 @@
+"""§5.2 table: on-demand LoRA model loading latency over PCIe.
+
+The paper reports ~50 us per layer and ~2 ms for a whole model on PCIe
+Gen4 x16, and argues that since a decode step takes ~30 ms the simple
+whole-model asynchronous load hides entirely behind one step.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import FigureTable
+from repro.hw.kernels import KernelCostModel
+from repro.hw.pcie import PCIE_GEN4_X16, PcieSpec
+from repro.hw.spec import A100_80G
+from repro.models.config import LLAMA2_7B, LLAMA2_13B, LLAMA2_70B, LlamaConfig
+from repro.models.perf import decode_step_workload, model_step_latency
+from repro.utils.units import MS, US
+
+
+def run_loader_bench(
+    configs: "tuple[LlamaConfig, ...]" = (LLAMA2_7B, LLAMA2_13B, LLAMA2_70B),
+    pcie: PcieSpec = PCIE_GEN4_X16,
+    rank: int = 16,
+) -> FigureTable:
+    kcm = KernelCostModel(A100_80G)
+    table = FigureTable(
+        figure_id="§5.2",
+        title=f"On-demand LoRA load latency over {pcie.name} (rank {rank})",
+        headers=[
+            "model", "layer_load_us", "model_load_ms",
+            "decode_step_ms_bs32", "load_hidden_by_one_step",
+        ],
+    )
+    for config in configs:
+        layer_bytes = config.lora_bytes(rank) / config.num_layers
+        layer_t = pcie.transfer_time(layer_bytes)
+        model_t = pcie.transfer_time(config.lora_bytes(rank))
+        step_t = model_step_latency(
+            config, kcm, decode_step_workload([512] * 32, lora_segments=[1] * 32)
+        )
+        table.add_row(
+            config.name, layer_t / US, model_t / MS, step_t / MS,
+            "yes" if model_t < step_t else "no",
+        )
+    table.add_note("paper: ~50us/layer, ~2ms/model, ~30ms/decode step (7B)")
+    return table

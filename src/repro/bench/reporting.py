@@ -1,0 +1,38 @@
+"""Figure output containers and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.utils.tables import format_table
+
+
+@dataclass
+class FigureTable:
+    """One reproduced figure/table: the rows the paper plots, plus notes."""
+
+    figure_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        header = f"== {self.figure_id}: {self.title} =="
+        body = format_table(list(self.headers), self.rows)
+        parts = [header, body]
+        if self.notes:
+            parts.append("\n".join(f"  note: {n}" for n in self.notes))
+        return "\n".join(parts)
+
+    def column(self, name: str) -> list[object]:
+        """Extract one column by header name (for assertions in benches)."""
+        idx = list(self.headers).index(name)
+        return [row[idx] for row in self.rows]

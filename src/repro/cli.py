@@ -1,0 +1,98 @@
+"""Command-line interface: regenerate any paper figure from the shell.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro fig08
+    python -m repro fig11 --requests 200
+    python -m repro all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from collections.abc import Callable
+
+from repro.bench import (
+    run_fig01,
+    run_fig07,
+    run_fig08,
+    run_fig09,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_loader_bench,
+)
+from repro.bench.reporting import FigureTable
+
+RUNNERS: "dict[str, tuple[str, Callable[..., FigureTable]]]" = {
+    "fig01": ("Figure 1: prefill/decode batching", run_fig01),
+    "fig07": ("Figure 7: SGMV roofline", run_fig07),
+    "fig08": ("Figure 8: LoRA operator comparison", run_fig08),
+    "fig09": ("Figure 9: SGMV rank sweep", run_fig09),
+    "fig10": ("Figure 10: transformer layer latency", run_fig10),
+    "fig11": ("Figure 11: single-GPU text generation", run_fig11),
+    "fig12": ("Figure 12: 70B tensor parallelism", run_fig12),
+    "fig13": ("Figure 13: cluster deployment", run_fig13),
+    "loader": ("§5.2: on-demand LoRA loading", run_loader_bench),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from 'Punica: Multi-Tenant LoRA Serving'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available figures")
+    all_p = sub.add_parser("all", help="run every figure")
+    all_p.add_argument("--out", type=pathlib.Path, default=None,
+                       help="directory to save tables into")
+    for name, (desc, _) in RUNNERS.items():
+        p = sub.add_parser(name, help=desc)
+        p.add_argument("--out", type=pathlib.Path, default=None)
+        if name in ("fig11", "fig12"):
+            p.add_argument("--requests", type=int, default=None,
+                           help="trace size (default: quick scale)")
+    return parser
+
+
+def _run_one(name: str, out: "pathlib.Path | None", requests: "int | None") -> None:
+    _, runner = RUNNERS[name]
+    kwargs = {}
+    if requests is not None and name in ("fig11", "fig12"):
+        kwargs["n_requests"] = requests
+    table = runner(**kwargs)
+    text = table.render()
+    if name == "fig07":
+        from repro.bench.fig07_roofline import fig07_ascii_plot
+
+        text += "\n\n" + fig07_ascii_plot()
+    print(text)
+    print()
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{name}.txt").write_text(text + "\n")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (desc, _) in RUNNERS.items():
+            print(f"{name:8s} {desc}")
+        return 0
+    if args.command == "all":
+        for name in RUNNERS:
+            _run_one(name, args.out, requests=None)
+        return 0
+    _run_one(args.command, args.out, getattr(args, "requests", None))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

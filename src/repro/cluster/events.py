@@ -1,0 +1,66 @@
+"""A minimal discrete-event loop.
+
+Events are ``(time, seq, action)`` triples in a binary heap; ``seq`` breaks
+ties deterministically in scheduling order, which keeps whole simulations
+reproducible under a fixed seed. Actions may schedule further events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+
+class EventLoop:
+    """Deterministic discrete-event executor."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[float], None]]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        return self._processed
+
+    def schedule(self, time: float, action: Callable[[float], None]) -> None:
+        """Enqueue ``action`` to run at ``time`` (must not be in the past)."""
+        if time < self._now - 1e-12:
+            raise ValueError(f"cannot schedule at {time} before now={self._now}")
+        heapq.heappush(self._heap, (time, self._seq, action))
+        self._seq += 1
+
+    def schedule_after(self, delay: float, action: Callable[[float], None]) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be nonnegative, got {delay}")
+        self.schedule(self._now + delay, action)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events in time order; returns the final clock.
+
+        Stops when the heap is empty, the next event is beyond ``until``
+        (left enqueued), or ``max_events`` have been processed.
+        """
+        while self._heap:
+            if max_events is not None and self._processed >= max_events:
+                break
+            time, _, action = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = time
+            action(time)
+            self._processed += 1
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now

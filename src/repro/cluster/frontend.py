@@ -1,0 +1,132 @@
+"""Frontend: the client-facing API of Figure 2's architecture.
+
+The paper's frontends expose a RESTful API, forward requests to the
+scheduler, and stream generated tokens back (runner -> scheduler ->
+frontend -> user). In this reproduction the frontend is an in-process
+facade over the cluster simulator: clients submit prompts (optionally at a
+future simulated time), register per-request token callbacks, and may
+cancel in flight. Token streaming rides the engine step reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+from repro.cluster.simulator import ClusterSimulator
+from repro.runtime.request import Request, RequestState
+from repro.workloads.trace import RequestSpec
+
+TokenCallback = Callable[[str, int, float], None]
+"""(request_id, token, time) — invoked for every streamed token."""
+
+
+@dataclass
+class RequestHandle:
+    """The client's view of one submitted request."""
+
+    request: Request
+    streamed: list[tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def request_id(self) -> str:
+        return self.request.request_id
+
+    @property
+    def state(self) -> RequestState:
+        return self.request.state
+
+    @property
+    def tokens(self) -> list[int]:
+        return [t for t, _ in self.streamed]
+
+    def is_done(self) -> bool:
+        return self.request.state in (RequestState.FINISHED, RequestState.CANCELLED)
+
+
+class Frontend:
+    """Client API over a :class:`ClusterSimulator`."""
+
+    def __init__(self, simulator: ClusterSimulator):
+        self.simulator = simulator
+        self._handles: dict[str, RequestHandle] = {}
+        self._callbacks: list[TokenCallback] = []
+        self._ids = itertools.count()
+        self._install_streaming_hook()
+
+    # ------------------------------------------------------------------
+    def on_token(self, callback: TokenCallback) -> None:
+        """Register a streaming callback (fired once per generated token)."""
+        self._callbacks.append(callback)
+
+    def submit(
+        self,
+        lora_id: str,
+        prompt_len: int,
+        response_len: int,
+        at_time: float = 0.0,
+        prompt_tokens: "list[int] | None" = None,
+        request_id: str | None = None,
+    ) -> RequestHandle:
+        """Submit a request arriving at ``at_time`` (simulated clock)."""
+        rid = request_id or f"fe-{next(self._ids):05d}"
+        if rid in self._handles:
+            raise ValueError(f"request id {rid!r} already submitted")
+        spec = RequestSpec(
+            request_id=rid,
+            lora_id=lora_id,
+            arrival_time=at_time,
+            prompt_len=prompt_len,
+            response_len=response_len,
+        )
+        request = Request(spec=spec, prompt_tokens=prompt_tokens)
+        handle = RequestHandle(request=request)
+        self._handles[rid] = handle
+        self.simulator._requests[rid] = request
+        self.simulator.schedule_arrival(request)
+        return handle
+
+    def cancel(self, request_id: str) -> None:
+        """User disconnection: drop the request wherever it currently is."""
+        handle = self._handles.get(request_id)
+        if handle is None:
+            raise KeyError(f"unknown request {request_id!r}")
+        if handle.is_done():
+            return
+        self.simulator.scheduler.cancel(handle.request)
+
+    def run(self, until: float | None = None) -> float:
+        """Advance the simulated cluster until quiescent (or ``until``)."""
+        return self.simulator.loop.run(until=until)
+
+    def handle(self, request_id: str) -> RequestHandle:
+        return self._handles[request_id]
+
+    # ------------------------------------------------------------------
+    def _install_streaming_hook(self) -> None:
+        """Wrap the simulator's step factory to observe every report."""
+        original = self.simulator._make_step
+
+        def make_step_with_streaming(gpu_id: str):
+            inner = original(gpu_id)
+
+            def step(now: float) -> None:
+                # Snapshot per-request token counts to detect new tokens.
+                inner(now)
+                # The report isn't returned; read streamed tokens off the
+                # request objects instead (cheap and exact).
+                for handle in self._handles.values():
+                    req = handle.request
+                    already = len(handle.streamed)
+                    new = req.generated_tokens[already:]
+                    for tok in new:
+                        stamp = req.first_token_time if already == 0 else now
+                        handle.streamed.append((tok, stamp if stamp is not None else now))
+                        for cb in self._callbacks:
+                            cb(req.request_id, tok, now)
+                        already += 1
+
+            return step
+
+        self.simulator._make_step = make_step_with_streaming  # type: ignore[assignment]

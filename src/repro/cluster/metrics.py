@@ -1,0 +1,81 @@
+"""Time-series metrics for cluster experiments (the three panels of Fig 13)."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TimeSeries:
+    """Sparse (time, value) samples with bucketed aggregation."""
+
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, t: float, v: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError(f"samples must be time-ordered: {t} < {self.times[-1]}")
+        self.times.append(t)
+        self.values.append(v)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def bucket_sum(self, bucket: float, duration: float) -> "list[tuple[float, float]]":
+        """Sum of values per bucket — e.g. tokens/s when divided by bucket."""
+        return self._bucket(bucket, duration, np.sum)
+
+    def bucket_mean(self, bucket: float, duration: float) -> "list[tuple[float, float]]":
+        return self._bucket(bucket, duration, lambda a: float(np.mean(a)) if len(a) else 0.0)
+
+    def _bucket(self, bucket: float, duration: float, agg) -> "list[tuple[float, float]]":
+        if bucket <= 0 or duration <= 0:
+            raise ValueError("bucket and duration must be positive")
+        edges = np.arange(0.0, duration + bucket, bucket)
+        times = np.asarray(self.times)
+        values = np.asarray(self.values)
+        out = []
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            mask = (times >= lo) & (times < hi)
+            out.append((float(lo), float(agg(values[mask]))))
+        return out
+
+    def value_at(self, t: float) -> float:
+        """Step-function lookup: the last recorded value at or before ``t``."""
+        i = bisect.bisect_right(self.times, t) - 1
+        return self.values[i] if i >= 0 else 0.0
+
+
+@dataclass
+class ClusterMetrics:
+    """Everything Fig 13 plots, collected during one simulation run."""
+
+    arrivals: TimeSeries = field(default_factory=TimeSeries)
+    """(time, 1) per request arrival — bucket_sum/bucket = request rate."""
+    tokens: TimeSeries = field(default_factory=TimeSeries)
+    """(step end, tokens generated that step) — bucket_sum/bucket = tok/s."""
+    gpu_batch_size: dict[str, TimeSeries] = field(default_factory=dict)
+    """Per-GPU (step start, invocation batch size) — Fig 13 lower panel."""
+
+    def record_arrival(self, t: float) -> None:
+        self.arrivals.record(t, 1.0)
+
+    def record_step(self, gpu_id: str, start: float, tokens: int, batch_size: int) -> None:
+        self.tokens.record(start, float(tokens))
+        self.gpu_batch_size.setdefault(gpu_id, TimeSeries()).record(start, float(batch_size))
+
+    def request_rate_series(self, bucket: float, duration: float):
+        return [(t, v / bucket) for t, v in self.arrivals.bucket_sum(bucket, duration)]
+
+    def throughput_series(self, bucket: float, duration: float):
+        return [(t, v / bucket) for t, v in self.tokens.bucket_sum(bucket, duration)]
+
+    def batch_size_series(self, gpu_id: str, bucket: float, duration: float):
+        series = self.gpu_batch_size.get(gpu_id, TimeSeries())
+        return series.bucket_mean(bucket, duration)
+
+    def total_tokens(self) -> float:
+        return float(np.sum(self.tokens.values)) if self.tokens.values else 0.0

@@ -1,0 +1,118 @@
+"""Scheduler <-> runner message protocol (paper §6, Figure 2).
+
+The real Punica runs the scheduler, frontends and per-server runners as
+separate Rust processes connected by websockets; runners spawn one Python
+subprocess per GPU and shuttle commands/results over pipes. This module
+defines the typed messages of that protocol; :mod:`repro.cluster.runner`
+implements the mediating runner. Keeping the protocol explicit lets tests
+assert the wire-level guarantees the paper relies on: commands apply in
+order, every generated token is streamed exactly once, and a cancel
+acknowledges exactly one request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ---------------------------------------------------------------------------
+# Commands: scheduler -> runner
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AddRequest:
+    """Attach a request to the runner's GPU (§5.1 placement decision)."""
+
+    request_id: str
+    lora_id: str
+    prompt_len: int
+    response_len: int
+    prompt_tokens: "tuple[int, ...] | None" = None
+    generated_prefix: "tuple[int, ...]" = ()
+    """Tokens generated on a previous GPU (migration re-prefill, §5.3)."""
+
+    def __post_init__(self) -> None:
+        if self.prompt_len < 1 or self.response_len < 1:
+            raise ValueError("prompt_len and response_len must be >= 1")
+
+
+@dataclass(frozen=True)
+class CancelRequest:
+    """Remove a request (user disconnect, or migration step 1)."""
+
+    request_id: str
+    requeue: bool = False
+
+
+Command = "AddRequest | CancelRequest"
+
+
+# ---------------------------------------------------------------------------
+# Events: runner -> scheduler
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TokenChunk:
+    """Newly generated tokens streamed upward after one invocation."""
+
+    request_id: str
+    tokens: tuple[int, ...]
+    time: float
+
+    def __post_init__(self) -> None:
+        if not self.tokens:
+            raise ValueError("a token chunk must carry at least one token")
+
+
+@dataclass(frozen=True)
+class RequestFinished:
+    """The request hit its stopping condition and left the batch (§5)."""
+
+    request_id: str
+    time: float
+    num_generated: int
+
+
+@dataclass(frozen=True)
+class RequestEvicted:
+    """Evicted under KvCache pressure; the scheduler must re-place it."""
+
+    request_id: str
+    time: float
+
+
+@dataclass(frozen=True)
+class CancelAck:
+    """The cancel was picked up after the current batch (§5.3 semantics)."""
+
+    request_id: str
+    time: float
+
+
+@dataclass(frozen=True)
+class StepStats:
+    """Per-invocation telemetry (batch size panel of Fig 13)."""
+
+    gpu_id: str
+    start: float
+    latency: float
+    batch_size: int
+    num_lora_segments: int
+
+
+Event = "TokenChunk | RequestFinished | RequestEvicted | CancelAck | StepStats"
+
+
+@dataclass
+class MessageLog:
+    """Ordered capture of protocol traffic (test/debug aid)."""
+
+    commands: list = field(default_factory=list)
+    events: list = field(default_factory=list)
+
+    def record_command(self, msg) -> None:
+        self.commands.append(msg)
+
+    def record_event(self, msg) -> None:
+        self.events.append(msg)
+
+    def events_of_type(self, cls) -> list:
+        return [e for e in self.events if isinstance(e, cls)]

@@ -1,0 +1,141 @@
+"""The GPU runner: command/event mediation around one engine (paper §6).
+
+A :class:`GpuRunner` owns one :class:`~repro.runtime.engine.GpuEngine` and
+exposes exactly the paper's process boundary: the scheduler *posts*
+commands (add/cancel) into an inbox, the runner applies them at the next
+step boundary (cancellation "is picked up after the GPU finishes running
+the previous batch", §5.3), steps the engine, and emits typed events —
+token chunks, finishes, evictions, acks — into an outbox the scheduler
+drains. No other channel exists, so tests can assert the protocol carries
+everything the system needs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cluster.protocol import (
+    AddRequest,
+    CancelAck,
+    CancelRequest,
+    MessageLog,
+    RequestEvicted,
+    RequestFinished,
+    StepStats,
+    TokenChunk,
+)
+from repro.runtime.request import Request
+from repro.workloads.trace import RequestSpec
+
+
+class GpuRunner:
+    """Message-driven wrapper over one GPU engine."""
+
+    def __init__(self, engine, log: MessageLog | None = None):
+        self.engine = engine
+        self.log = log
+        self._inbox: deque = deque()
+        self._outbox: deque = deque()
+        self._requests: dict[str, Request] = {}
+
+    @property
+    def gpu_id(self) -> str:
+        return self.engine.gpu_id
+
+    # ------------------------------------------------------------------
+    # Scheduler-facing API
+    # ------------------------------------------------------------------
+    def post(self, command) -> None:
+        """Enqueue a command; applied at the next step boundary."""
+        if not isinstance(command, (AddRequest, CancelRequest)):
+            raise TypeError(f"unknown command type {type(command).__name__}")
+        if self.log is not None:
+            self.log.record_command(command)
+        self._inbox.append(command)
+
+    def poll_events(self) -> list:
+        """Drain and return all pending events, oldest first."""
+        events = list(self._outbox)
+        self._outbox.clear()
+        return events
+
+    def request(self, request_id: str) -> Request:
+        """The runner-side request object (e.g. to re-place after eviction)."""
+        return self._requests[request_id]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self, now: float) -> "float | None":
+        """Apply queued commands, run one engine step, emit events.
+
+        Returns the step's end time, or ``None`` if nothing ran.
+        """
+        self._apply_commands(now)
+        report = self.engine.step(now)
+        if report is None:
+            return None
+        for rid, token in report.new_tokens.items():
+            self._emit(TokenChunk(request_id=rid, tokens=(token,), time=report.end))
+        for rid in report.finished:
+            self._emit(
+                RequestFinished(
+                    request_id=rid,
+                    time=report.end,
+                    num_generated=self._requests[rid].num_generated,
+                )
+            )
+        for rid in report.evicted:
+            self._emit(RequestEvicted(request_id=rid, time=report.end))
+        self._emit(
+            StepStats(
+                gpu_id=self.gpu_id,
+                start=report.start,
+                latency=report.latency,
+                batch_size=report.batch_size,
+                num_lora_segments=report.num_lora_segments,
+            )
+        )
+        return report.end
+
+    # ------------------------------------------------------------------
+    def _apply_commands(self, now: float) -> None:
+        while self._inbox:
+            command = self._inbox.popleft()
+            if isinstance(command, AddRequest):
+                self._apply_add(command, now)
+            else:
+                self._apply_cancel(command, now)
+
+    def _apply_add(self, command: AddRequest, now: float) -> None:
+        rid = command.request_id
+        req = self._requests.get(rid)
+        if req is None:
+            req = Request(
+                spec=RequestSpec(
+                    request_id=rid,
+                    lora_id=command.lora_id,
+                    arrival_time=now,
+                    prompt_len=command.prompt_len,
+                    response_len=command.response_len,
+                ),
+                prompt_tokens=(
+                    list(command.prompt_tokens)
+                    if command.prompt_tokens is not None
+                    else None
+                ),
+            )
+            req.generated_tokens.extend(command.generated_prefix)
+            self._requests[rid] = req
+        self.engine.add_request(req, now)
+
+    def _apply_cancel(self, command: CancelRequest, now: float) -> None:
+        self.engine.cancel(command.request_id, requeue=command.requeue)
+        self._emit(CancelAck(request_id=command.request_id, time=now))
+        if not command.requeue:
+            self._requests.pop(command.request_id, None)
+
+    def _emit(self, event) -> None:
+        if self.log is not None:
+            self.log.record_event(event)
+        self._outbox.append(event)

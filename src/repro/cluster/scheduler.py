@@ -1,0 +1,227 @@
+"""The Punica cluster scheduler (§5.1, §5.3).
+
+Routing rule for a new (or re-queued) request: among GPUs that (1) have not
+reached the max batch size and (2) have enough KvCache memory, pick the one
+with the *largest* working set; break ties by highest GPU UUID. If none
+qualifies, queue FCFS. The deliberately anti-balancing rule keeps busy GPUs
+busy and lets lightly loaded GPUs drain to idle, enabling cluster scale-down.
+
+Consolidation migration: periodically, requests on lightly loaded GPUs are
+migrated (cancel + re-add, §5.3) onto busier GPUs that can absorb them,
+freeing the source GPU entirely.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.runtime.request import Request, RequestState
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Cluster scheduling knobs."""
+
+    migration_interval: float = 10.0
+    """Seconds between consolidation passes (§3 "periodically migrates")."""
+    consolidation: bool = True
+    """Disable to ablate migration (bench_ablation_scheduler)."""
+    light_load_fraction: float = 0.5
+    """A GPU below this fraction of max batch size counts as lightly loaded."""
+    routing: str = "pack"
+    """"pack" = Punica's largest-working-set rule (§5.1); "spread" = classic
+    least-loaded balancing, kept as an ablation of the design choice."""
+
+    def __post_init__(self) -> None:
+        if self.migration_interval <= 0:
+            raise ValueError("migration_interval must be positive")
+        if not 0.0 < self.light_load_fraction <= 1.0:
+            raise ValueError("light_load_fraction must be in (0, 1]")
+        if self.routing not in ("pack", "spread"):
+            raise ValueError(f"unknown routing policy {self.routing!r}")
+
+
+class PunicaScheduler:
+    """Routes requests over a pool of engines; owns the FCFS wait queue."""
+
+    def __init__(self, engines: "list", config: SchedulerConfig | None = None):
+        if not engines:
+            raise ValueError("scheduler needs at least one GPU engine")
+        ids = [e.gpu_id for e in engines]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate GPU ids: {ids}")
+        self.engines = {e.gpu_id: e for e in engines}
+        self.config = config or SchedulerConfig()
+        self._queue: list[tuple[float, int, Request]] = []
+        self._queue_seq = 0
+        self.num_migrations = 0
+        self.num_queued_total = 0
+
+    # ------------------------------------------------------------------
+    # Elastic pool membership (§5.1: allocate/deallocate GPU servers)
+    # ------------------------------------------------------------------
+    def add_engine(self, engine) -> None:
+        """Bring a newly provisioned GPU into the pool."""
+        if engine.gpu_id in self.engines:
+            raise ValueError(f"GPU {engine.gpu_id} already in the pool")
+        self.engines[engine.gpu_id] = engine
+
+    def remove_engine(self, gpu_id: str):
+        """Release an *idle* GPU back to the cloud provider."""
+        engine = self.engines.get(gpu_id)
+        if engine is None:
+            raise KeyError(f"GPU {gpu_id} not in the pool")
+        if not engine.is_idle:
+            raise RuntimeError(f"cannot release busy GPU {gpu_id}")
+        if len(self.engines) == 1:
+            raise RuntimeError("cannot release the last GPU")
+        return self.engines.pop(gpu_id)
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def total_working_set(self) -> int:
+        return sum(e.working_set_size for e in self.engines.values())
+
+    def idle_gpus(self) -> list[str]:
+        return [gid for gid, e in self.engines.items() if e.is_idle]
+
+    # ------------------------------------------------------------------
+    def submit(self, request: Request, now: float) -> "str | None":
+        """Route a request; returns the chosen GPU id or None if queued."""
+        gpu = self._route(request)
+        if gpu is None:
+            heapq.heappush(
+                self._queue, (request.spec.arrival_time, self._queue_seq, request)
+            )
+            self._queue_seq += 1
+            self.num_queued_total += 1
+            return None
+        self.engines[gpu].add_request(request, now)
+        return gpu
+
+    def _route(self, request: Request) -> "str | None":
+        """§5.1: largest working set among feasible GPUs; ties -> max UUID.
+
+        Under the "spread" ablation the sign flips to least-loaded-first
+        (ties still -> max UUID), the conventional balancing rule the paper
+        argues against for consolidation.
+        """
+        candidates = [
+            (e.working_set_size, gid)
+            for gid, e in self.engines.items()
+            if e.can_accept(request)
+        ]
+        if not candidates:
+            return None
+        if self.config.routing == "pack":
+            _, gpu = max(candidates)  # lexicographic: working set, then UUID
+        else:
+            load = min(ws for ws, _ in candidates)
+            gpu = max(gid for ws, gid in candidates if ws == load)
+        return gpu
+
+    def drain_queue(self, now: float) -> list[str]:
+        """Place queued requests FCFS as capacity frees up; head blocks."""
+        placed = []
+        while self._queue:
+            _, _, request = self._queue[0]
+            if request.state is RequestState.CANCELLED:
+                heapq.heappop(self._queue)
+                continue
+            gpu = self._route(request)
+            if gpu is None:
+                break
+            heapq.heappop(self._queue)
+            self.engines[gpu].add_request(request, now)
+            placed.append(gpu)
+        return placed
+
+    # ------------------------------------------------------------------
+    def handle_evictions(self, request_ids: "list[str]", requests, now: float) -> None:
+        """Re-place requests the engine evicted under memory pressure.
+
+        "The scheduling for the evicted request is the same as adding a new
+        request" (§5.3).
+        """
+        for rid in request_ids:
+            self.submit(requests[rid], now)
+
+    def cancel(self, request: Request) -> None:
+        """User cancellation: drop from whichever GPU or queue holds it."""
+        for engine in self.engines.values():
+            if engine.has_request(request.request_id):
+                engine.cancel(request.request_id)
+                return
+        request.mark_cancelled()  # it is (lazily removed) in the queue
+
+    # ------------------------------------------------------------------
+    def consolidate(self, now: float) -> int:
+        """Migrate requests off lightly loaded GPUs onto busier ones.
+
+        Sources are scanned lightest-first; each of their requests moves to
+        the busiest other GPU that can accept it (same routing rule as new
+        requests). Returns the number of requests migrated.
+        """
+        if not self.config.consolidation:
+            return 0
+        moved = 0
+        threshold = max(
+            1,
+            int(
+                self.config.light_load_fraction
+                * max(e.config.max_batch_size for e in self.engines.values()
+                      if hasattr(e, "config"))
+            ),
+        )
+        order = sorted(
+            (e.working_set_size, gid)
+            for gid, e in self.engines.items()
+            if 0 < e.working_set_size < threshold
+        )
+        for _, source_id in order:
+            source = self.engines[source_id]
+            for request in source.all_requests():
+                target = self._migration_target(source_id, request)
+                if target is None:
+                    continue
+                source.cancel(request.request_id, requeue=True)
+                self.engines[target].add_request(request, now)
+                moved += 1
+                self.num_migrations += 1
+        return moved
+
+    def _migration_target(self, source_id: str, request: Request) -> "str | None":
+        """Busiest other GPU that can absorb the request and is busier than
+        the source (otherwise migrating would un-consolidate)."""
+        source = self.engines[source_id]
+        candidates = [
+            (e.working_set_size, gid)
+            for gid, e in self.engines.items()
+            if gid != source_id
+            and e.working_set_size > source.working_set_size
+            and e.can_accept(request)
+        ]
+        if not candidates:
+            return None
+        _, gpu = max(candidates)
+        return gpu
+
+    # ------------------------------------------------------------------
+    def scaling_hint(self) -> str:
+        """Cloud elasticity signal (§5.1): grow, shrink, or hold the pool."""
+        max_bs = max(
+            e.config.max_batch_size for e in self.engines.values() if hasattr(e, "config")
+        )
+        light = [
+            e for e in self.engines.values()
+            if e.working_set_size < self.config.light_load_fraction * max_bs
+        ]
+        if not light or self.queue_depth > 0:
+            return "scale-up"
+        if self.idle_gpus():
+            return "scale-down"
+        return "hold"

@@ -1,0 +1,174 @@
+"""Discrete-event cluster simulation: trace in, Fig 13 panels out.
+
+Each GPU runs back-to-back batches (KvCache affinity — the paper contrasts
+this with Symphony's non-work-conserving scheduler): when a step finishes
+at time t, the next step for that GPU is scheduled at t immediately if it
+has work. Arrivals fire scheduler submissions; finished/evicted requests
+trigger queue drains and re-placements; a periodic event runs the
+consolidation migration pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.events import EventLoop
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.scheduler import PunicaScheduler, SchedulerConfig
+from repro.runtime.request import Request, RequestState
+from repro.runtime.serve import requests_from_trace
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one cluster run."""
+
+    duration: float
+    metrics: ClusterMetrics
+    requests: list[Request]
+    num_migrations: int
+    events_processed: int
+
+    @property
+    def tokens_generated(self) -> int:
+        return int(self.metrics.total_tokens())
+
+    @property
+    def finished_requests(self) -> int:
+        return sum(1 for r in self.requests if r.state is RequestState.FINISHED)
+
+    @property
+    def throughput(self) -> float:
+        return self.tokens_generated / self.duration if self.duration > 0 else 0.0
+
+    def mean_normalized_latency(self) -> float:
+        lats = [
+            r.normalized_latency()
+            for r in self.requests
+            if r.state is RequestState.FINISHED and r.num_generated > 0
+        ]
+        return sum(lats) / len(lats) if lats else 0.0
+
+    def summary(self) -> str:
+        """One human-readable line for logs and examples."""
+        return (
+            f"{self.finished_requests}/{len(self.requests)} requests, "
+            f"{self.tokens_generated} tokens in {self.duration:.1f}s | "
+            f"{self.throughput:.0f} tok/s | {self.num_migrations} migrations | "
+            f"mean latency {self.mean_normalized_latency() * 1e3:.1f} ms/tok"
+        )
+
+
+class ClusterSimulator:
+    """Drives a scheduler + engine pool through a request trace."""
+
+    def __init__(
+        self,
+        engines: "list",
+        scheduler_config: SchedulerConfig | None = None,
+    ):
+        self.scheduler = PunicaScheduler(engines, scheduler_config)
+        self.loop = EventLoop()
+        self.metrics = ClusterMetrics()
+        self._requests: dict[str, Request] = {}
+        self._gpu_busy: dict[str, bool] = {gid: False for gid in self.scheduler.engines}
+        self._pending_arrivals = 0
+
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace, until: float | None = None) -> SimulationResult:
+        requests = requests_from_trace(trace)
+        for req in requests:
+            self._requests[req.request_id] = req
+            self.schedule_arrival(req)
+        cfg = self.scheduler.config
+        if cfg.consolidation:
+            self.loop.schedule(cfg.migration_interval, self._migration_tick)
+        end = self.loop.run(until=until)
+        return SimulationResult(
+            duration=end,
+            metrics=self.metrics,
+            requests=requests,
+            num_migrations=self.scheduler.num_migrations,
+            events_processed=self.loop.processed,
+        )
+
+    # ------------------------------------------------------------------
+    def schedule_arrival(self, req: Request) -> None:
+        """Register one future request arrival on the event loop."""
+        self._pending_arrivals += 1
+        self.loop.schedule(req.spec.arrival_time, self._make_arrival(req))
+
+    def work_remaining(self) -> bool:
+        """Whether any request is still queued, running, or yet to arrive.
+
+        Periodic ticks (migration, autoscaling) key their rescheduling on
+        this — not on ``loop.pending``, which would count the ticks
+        themselves and livelock the loop.
+        """
+        if self._pending_arrivals > 0 or self.scheduler.queue_depth > 0:
+            return True
+        return any(not e.is_idle for e in self.scheduler.engines.values())
+
+    def _make_arrival(self, req: Request):
+        def arrival(now: float) -> None:
+            self._pending_arrivals -= 1
+            self.metrics.record_arrival(now)
+            gpu = self.scheduler.submit(req, now)
+            if gpu is not None:
+                self._kick(gpu, now)
+
+        return arrival
+
+    def _migration_tick(self, now: float) -> None:
+        moved = self.scheduler.consolidate(now)
+        if moved:
+            for gid in self.scheduler.engines:
+                self._kick(gid, now)
+        if self.work_remaining():
+            self.loop.schedule(
+                now + self.scheduler.config.migration_interval, self._migration_tick
+            )
+
+    def _kick(self, gpu_id: str, now: float) -> None:
+        """Ensure a step event is scheduled for an idle-but-loaded GPU."""
+        if self._gpu_busy[gpu_id]:
+            return
+        engine = self.scheduler.engines[gpu_id]
+        if engine.is_idle:
+            return
+        self._gpu_busy[gpu_id] = True
+        self.loop.schedule(now, self._make_step(gpu_id))
+
+    def _make_step(self, gpu_id: str):
+        def step(now: float) -> None:
+            engine = self.scheduler.engines[gpu_id]
+            report = engine.step(now)
+            if report is None:
+                # Blocked on an in-flight LoRA load: wake when it lands.
+                self._gpu_busy[gpu_id] = False
+                wake = engine.next_ready_time()
+                if wake is not None and not engine.is_idle:
+                    self._gpu_busy[gpu_id] = True
+                    self.loop.schedule(max(wake, now), self._make_step(gpu_id))
+                return
+
+            end = report.end
+            self.metrics.record_step(
+                gpu_id, report.start, report.tokens_generated, report.batch_size
+            )
+            if report.finished or report.evicted:
+                for rid in report.evicted:
+                    target = self.scheduler.submit(self._requests[rid], end)
+                    if target is not None:
+                        self._kick(target, end)
+                placed = self.scheduler.drain_queue(end)
+                for gid in set(placed):
+                    self._kick(gid, end)
+
+            if engine.is_idle:
+                self._gpu_busy[gpu_id] = False
+            else:
+                self.loop.schedule(end, self._make_step(gpu_id))
+
+        return step

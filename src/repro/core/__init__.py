@@ -1,0 +1,48 @@
+"""Punica's primary contribution: SGMV and batched multi-LoRA execution.
+
+This package contains the *numerically real* implementation of everything
+§4 of the paper defines: segment indices, the SGMV shrink/expand operators
+(NumPy, with pure-Python references used as gold standards in tests), LoRA
+weight containers, the ``BatchLen`` batch-assembly logic from §6, and the
+three LoRA-operator implementations compared in Fig 8 (Loop, Gather-BMM,
+SGMV).
+"""
+
+from repro.core.batch import BatchLen, BatchPlan, plan_batch
+from repro.core.lora import LoraLayerWeights, LoraModelWeights, LoraRegistry, TARGET_PROJECTIONS
+from repro.core.ops import add_lora_gather_bmm, add_lora_loop, add_lora_sgmv
+from repro.core.segments import (
+    group_requests_by_lora,
+    segment_sizes,
+    segments_from_lora_ids,
+    segments_from_sizes,
+    validate_segments,
+)
+from repro.core.sgmv import (
+    sgmv_expand,
+    sgmv_expand_reference,
+    sgmv_shrink,
+    sgmv_shrink_reference,
+)
+
+__all__ = [
+    "BatchLen",
+    "BatchPlan",
+    "LoraLayerWeights",
+    "LoraModelWeights",
+    "LoraRegistry",
+    "TARGET_PROJECTIONS",
+    "add_lora_gather_bmm",
+    "add_lora_loop",
+    "add_lora_sgmv",
+    "group_requests_by_lora",
+    "plan_batch",
+    "segment_sizes",
+    "segments_from_lora_ids",
+    "segments_from_sizes",
+    "sgmv_expand",
+    "sgmv_expand_reference",
+    "sgmv_shrink",
+    "sgmv_shrink_reference",
+    "validate_segments",
+]

@@ -1,0 +1,218 @@
+"""LoRA weight containers and the multi-tenant model registry.
+
+A LoRA model (Hu et al., 2022) adds a rank-``r`` delta ``A @ B`` to each
+targeted dense projection of the backbone. Following the paper (§7:
+"LoRA is applied to all dense projections"), every projection in the
+transformer layer — q, k, v, o, gate, up, down — carries its own
+``(A, B)`` pair per layer.
+
+:class:`LoraRegistry` is the tenant-facing catalogue: it owns the weights
+for every registered LoRA model, reports their byte sizes (what the
+on-demand loader copies over PCIe), and stacks per-model weights into the
+``(num_models, h_in, h_out)`` arrays SGMV consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+#: Projection names LoRA attaches to, in layer order.
+TARGET_PROJECTIONS = ("q", "k", "v", "o", "gate", "up", "down")
+
+
+@dataclass(frozen=True)
+class LoraLayerWeights:
+    """The ``(A, B)`` pair for one projection in one layer.
+
+    ``wa`` has shape ``(h_in, rank)`` and ``wb`` ``(rank, h_out)``, so the
+    addon is ``x @ wa @ wb`` (row-vector convention, as in the paper's
+    ``y += x A B``).
+    """
+
+    wa: np.ndarray
+    wb: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.wa.ndim != 2 or self.wb.ndim != 2:
+            raise ValueError("wa and wb must be 2-D")
+        if self.wa.shape[1] != self.wb.shape[0]:
+            raise ValueError(
+                f"rank mismatch: wa is {self.wa.shape}, wb is {self.wb.shape}"
+            )
+
+    @property
+    def rank(self) -> int:
+        return self.wa.shape[1]
+
+    @property
+    def h_in(self) -> int:
+        return self.wa.shape[0]
+
+    @property
+    def h_out(self) -> int:
+        return self.wb.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Size when stored fp16 (the paper serves fp16 weights)."""
+        return 2 * (self.wa.size + self.wb.size)
+
+    def delta(self) -> np.ndarray:
+        """The dense weight delta ``A @ B`` (used by merged-weight tests)."""
+        return self.wa @ self.wb
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Compute the addon ``x @ A @ B`` without materializing the delta."""
+        return (x @ self.wa) @ self.wb
+
+
+@dataclass(frozen=True)
+class LoraModelWeights:
+    """All LoRA weights for one fine-tuned model: ``layers[layer][proj]``."""
+
+    model_id: str
+    layers: tuple[dict[str, LoraLayerWeights], ...]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("LoRA model must cover at least one layer")
+        for i, layer in enumerate(self.layers):
+            missing = [p for p in TARGET_PROJECTIONS if p not in layer]
+            extra = [p for p in layer if p not in TARGET_PROJECTIONS]
+            if missing or extra:
+                raise ValueError(
+                    f"layer {i}: missing projections {missing}, unknown {extra}"
+                )
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def rank(self) -> int:
+        return self.layers[0]["q"].rank
+
+    @property
+    def nbytes(self) -> int:
+        """Total fp16 bytes — what one on-demand load transfers (§5.2)."""
+        return sum(w.nbytes for layer in self.layers for w in layer.values())
+
+    def layer_nbytes(self, layer: int) -> int:
+        """Bytes of one layer's LoRA weights (the paper's ~50 us PCIe unit)."""
+        return sum(w.nbytes for w in self.layers[layer].values())
+
+
+def random_lora_weights(
+    model_id: str,
+    num_layers: int,
+    proj_dims: "dict[str, tuple[int, int]]",
+    rank: int,
+    seed: "int | np.random.Generator | None" = None,
+    dtype: np.dtype = np.float32,
+    scale: float = 0.01,
+) -> LoraModelWeights:
+    """Create a LoRA model with random weights (the paper does the same, §7).
+
+    ``proj_dims[p] = (h_in, h_out)`` gives each projection's backbone shape.
+    """
+    if rank <= 0:
+        raise ValueError(f"rank must be positive, got {rank}")
+    if num_layers <= 0:
+        raise ValueError(f"num_layers must be positive, got {num_layers}")
+    rng = new_rng(seed)
+    layers = []
+    for _ in range(num_layers):
+        layer: dict[str, LoraLayerWeights] = {}
+        for proj in TARGET_PROJECTIONS:
+            if proj not in proj_dims:
+                raise ValueError(f"proj_dims missing projection {proj!r}")
+            h_in, h_out = proj_dims[proj]
+            wa = rng.standard_normal((h_in, rank)).astype(dtype) * scale
+            wb = rng.standard_normal((rank, h_out)).astype(dtype) * scale
+            layer[proj] = LoraLayerWeights(wa=wa, wb=wb)
+        layers.append(layer)
+    return LoraModelWeights(model_id=model_id, layers=tuple(layers))
+
+
+@dataclass
+class LoraRegistry:
+    """Catalogue of every LoRA model known to the serving system."""
+
+    _models: dict[str, LoraModelWeights] = field(default_factory=dict)
+
+    def register(self, weights: LoraModelWeights) -> None:
+        if weights.model_id in self._models:
+            raise ValueError(f"LoRA model {weights.model_id!r} already registered")
+        self._models[weights.model_id] = weights
+
+    def get(self, model_id: str) -> LoraModelWeights:
+        try:
+            return self._models[model_id]
+        except KeyError:
+            raise KeyError(f"unknown LoRA model {model_id!r}") from None
+
+    def __contains__(self, model_id: str) -> bool:
+        return model_id in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    @property
+    def model_ids(self) -> list[str]:
+        return list(self._models)
+
+    def nbytes(self, model_id: str) -> int:
+        return self.get(model_id).nbytes
+
+    def stack(
+        self, model_ids: "list[str]", layer: int, proj: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stack ``(A, B)`` for ``model_ids`` into SGMV weight arrays.
+
+        Returns ``(wa_stack, wb_stack)`` with shapes
+        ``(n, h_in, rank)`` and ``(n, rank, h_out)``. All models must share
+        the same rank and projection dims (same backbone, as in Punica).
+        """
+        if not model_ids:
+            raise ValueError("model_ids must be non-empty")
+        pairs = [self.get(mid).layers[layer][proj] for mid in model_ids]
+        ranks = {p.rank for p in pairs}
+        if len(ranks) != 1:
+            raise ValueError(
+                f"mixed ranks in one SGMV stack: {sorted(ranks)} "
+                f"(use stack_padded to serve heterogeneous ranks)"
+            )
+        wa = np.stack([p.wa for p in pairs])
+        wb = np.stack([p.wb for p in pairs])
+        return wa, wb
+
+    def stack_padded(
+        self, model_ids: "list[str]", layer: int, proj: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stack ``(A, B)`` pairs of *heterogeneous* ranks, zero-padded.
+
+        Each model's ``A`` gains zero columns and ``B`` zero rows up to the
+        batch's maximum rank, which leaves ``A @ B`` bit-identical — the
+        standard way to serve mixed-rank tenants through one SGMV launch
+        (the paper evaluates a single rank; its follow-ons pad like this).
+        The cost is SGMV executing at the max rank for every segment.
+        """
+        if not model_ids:
+            raise ValueError("model_ids must be non-empty")
+        pairs = [self.get(mid).layers[layer][proj] for mid in model_ids]
+        max_rank = max(p.rank for p in pairs)
+        h_in = pairs[0].h_in
+        h_out = pairs[0].h_out
+        for p in pairs:
+            if p.h_in != h_in or p.h_out != h_out:
+                raise ValueError("all models in one stack must share projection dims")
+        wa = np.zeros((len(pairs), h_in, max_rank), dtype=pairs[0].wa.dtype)
+        wb = np.zeros((len(pairs), max_rank, h_out), dtype=pairs[0].wb.dtype)
+        for i, p in enumerate(pairs):
+            wa[i, :, : p.rank] = p.wa
+            wb[i, : p.rank, :] = p.wb
+        return wa, wb

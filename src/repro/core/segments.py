@@ -1,0 +1,103 @@
+"""Segment-index arithmetic for SGMV.
+
+The paper (§4) encodes a batch of ``s_n`` inputs targeting ``n`` distinct
+LoRA models as a vector of cumulative indices ``s`` with ``s_0 = 0`` and
+``s_i`` the last input index (1-based) of the i-th model. We store the
+same thing as a NumPy int array ``seg`` of length ``n + 1`` with
+``seg[0] == 0`` and ``seg[-1] == s_n``; rows ``seg[i-1]:seg[i]`` of the
+input all use LoRA model ``i-1``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def segments_from_sizes(sizes: Sequence[int]) -> np.ndarray:
+    """Build cumulative segment indices from per-model batch sizes.
+
+    >>> segments_from_sizes([2, 1, 3]).tolist()
+    [0, 2, 3, 6]
+    """
+    arr = np.asarray(sizes, dtype=np.int64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(f"sizes must be a non-empty 1-D sequence, got shape {arr.shape}")
+    if (arr <= 0).any():
+        raise ValueError(f"all segment sizes must be positive, got {arr.tolist()}")
+    seg = np.zeros(arr.size + 1, dtype=np.int64)
+    np.cumsum(arr, out=seg[1:])
+    return seg
+
+
+def segment_sizes(seg: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`segments_from_sizes`."""
+    seg = validate_segments(seg)
+    return np.diff(seg)
+
+
+def validate_segments(seg: np.ndarray, batch_size: int | None = None) -> np.ndarray:
+    """Check that ``seg`` is a valid cumulative segment vector; return it as int64.
+
+    Raises ``ValueError`` with a precise message otherwise.
+    """
+    seg = np.asarray(seg, dtype=np.int64)
+    if seg.ndim != 1 or seg.size < 2:
+        raise ValueError(f"segments must be 1-D with at least 2 entries, got shape {seg.shape}")
+    if seg[0] != 0:
+        raise ValueError(f"segments must start at 0, got {seg[0]}")
+    if (np.diff(seg) <= 0).any():
+        raise ValueError(f"segments must be strictly increasing, got {seg.tolist()}")
+    if batch_size is not None and seg[-1] != batch_size:
+        raise ValueError(f"segments cover {seg[-1]} rows but batch has {batch_size}")
+    return seg
+
+
+def segments_from_lora_ids(lora_ids: Sequence[object]) -> tuple[np.ndarray, list[object]]:
+    """Group an *already ordered* batch by consecutive runs of equal LoRA id.
+
+    Returns ``(seg, run_ids)`` where ``run_ids[i]`` is the LoRA id of
+    segment ``i``. Ids that appear in non-adjacent runs produce separate
+    segments — callers that want maximal grouping should order the batch
+    with :func:`group_requests_by_lora` first (Punica does, §6).
+
+    >>> seg, ids = segments_from_lora_ids(["a", "a", "b", "a"])
+    >>> seg.tolist(), ids
+    ([0, 2, 3, 4], ['a', 'b', 'a'])
+    """
+    ids = list(lora_ids)
+    if not ids:
+        raise ValueError("lora_ids must be non-empty")
+    sizes: list[int] = []
+    run_ids: list[object] = []
+    for lora_id in ids:
+        if run_ids and run_ids[-1] == lora_id:
+            sizes[-1] += 1
+        else:
+            run_ids.append(lora_id)
+            sizes.append(1)
+    return segments_from_sizes(sizes), run_ids
+
+
+def group_requests_by_lora(lora_ids: Sequence[object]) -> np.ndarray:
+    """Stable permutation placing requests with equal LoRA id consecutively.
+
+    Punica reorders each batch so same-model requests form one segment
+    (§6: "we further organize the batch input order such that requests that
+    share the same LoRA model are consecutive"). The sort is stable and
+    keys on *first occurrence order*, so the permutation is deterministic
+    and FCFS-respecting within each model.
+
+    >>> group_requests_by_lora(["b", "a", "b", "a"]).tolist()
+    [0, 2, 1, 3]
+    """
+    ids = list(lora_ids)
+    if not ids:
+        return np.zeros(0, dtype=np.int64)
+    first_seen: dict[object, int] = {}
+    for lora_id in ids:
+        if lora_id not in first_seen:
+            first_seen[lora_id] = len(first_seen)
+    keys = np.asarray([first_seen[lora_id] for lora_id in ids], dtype=np.int64)
+    return np.argsort(keys, kind="stable").astype(np.int64)

@@ -1,0 +1,31 @@
+"""Analytical GPU hardware models.
+
+The paper evaluates on NVIDIA A100 GPUs. This environment has no GPU, so
+latency comes from an analytical model calibrated against the measurements
+the paper itself reports (see DESIGN.md §5). The model is intentionally
+simple — roofline terms plus launch overheads plus a saturating-bandwidth
+GEMV schedule — because those are exactly the effects the paper's §4/§7.1
+analysis attributes its results to.
+"""
+
+from repro.hw.interconnect import NVLINK_A100, InterconnectSpec
+from repro.hw.kernels import KernelCostModel, SgmvWorkload
+from repro.hw.pcie import PCIE_GEN4_X16, PcieSpec, TransferPlan
+from repro.hw.roofline import RooflinePoint, roofline_latency, roofline_series
+from repro.hw.spec import A100_40G, A100_80G, GpuSpec
+
+__all__ = [
+    "A100_40G",
+    "A100_80G",
+    "GpuSpec",
+    "InterconnectSpec",
+    "KernelCostModel",
+    "NVLINK_A100",
+    "PCIE_GEN4_X16",
+    "PcieSpec",
+    "RooflinePoint",
+    "SgmvWorkload",
+    "TransferPlan",
+    "roofline_latency",
+    "roofline_series",
+]

@@ -1,0 +1,59 @@
+"""GPU-to-GPU interconnect model for tensor parallelism (paper §7.2, Fig 12).
+
+Testbed #2 uses HGX A100 servers with NvSwitch. Megatron-style tensor
+parallelism performs two all-reduces per transformer layer (one after the
+attention output projection, one after the MLP down projection). We model an
+all-reduce of n bytes across k GPUs with the standard ring cost
+``2 * (k-1)/k * n / bus_bandwidth`` plus a fixed per-operation latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import GB, US
+from repro.utils.validation import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """A symmetric GPU interconnect (NvLink/NvSwitch)."""
+
+    name: str
+    bus_bandwidth: float
+    """Per-GPU uni-directional bus bandwidth, bytes/s."""
+    latency: float = 8 * US
+    """Fixed latency of one collective operation (launch + sync)."""
+
+    def __post_init__(self) -> None:
+        check_positive("bus_bandwidth", self.bus_bandwidth)
+        check_nonnegative("latency", self.latency)
+
+    def allreduce_time(self, nbytes: float, world_size: int) -> float:
+        """Time for a ring all-reduce of ``nbytes`` across ``world_size`` GPUs."""
+        check_nonnegative("nbytes", nbytes)
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        if world_size == 1 or nbytes == 0:
+            return 0.0
+        wire = 2.0 * (world_size - 1) / world_size * nbytes / self.bus_bandwidth
+        return self.latency + wire
+
+    def allgather_time(self, nbytes: float, world_size: int) -> float:
+        """Time for an all-gather producing ``nbytes`` total on each GPU."""
+        check_nonnegative("nbytes", nbytes)
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        if world_size == 1 or nbytes == 0:
+            return 0.0
+        wire = (world_size - 1) / world_size * nbytes / self.bus_bandwidth
+        return self.latency + wire
+
+
+#: NvSwitch on HGX A100: 600 GB/s bidirectional NvLink per GPU; we use the
+#: ~250 GB/s effective uni-directional figure typical of NCCL all-reduce,
+#: and NCCL's ~25 us small-message all-reduce latency (decode-batch
+#: activations are tiny, so this latency term dominates TP overhead).
+NVLINK_A100 = InterconnectSpec(
+    name="NvSwitch (HGX A100)", bus_bandwidth=250 * GB, latency=25 * US
+)

@@ -1,0 +1,137 @@
+"""Roofline model (Williams et al., CACM 2009) utilities.
+
+The paper's Fig 7 places the SGMV kernel on an A100 roofline: x-axis
+arithmetic intensity (FLOP/byte), y-axis achieved FLOP/s, bounded by the
+memory-bandwidth diagonal and the peak-compute ceiling. These helpers
+compute the bound, the latency implied by it, and series of
+(intensity, achieved) points for plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.spec import GpuSpec
+from repro.utils.validation import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One measured/modelled kernel placed on the roofline."""
+
+    label: str
+    flop: float
+    io_bytes: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        check_nonnegative("flop", self.flop)
+        check_positive("io_bytes", self.io_bytes)
+        check_positive("latency", self.latency)
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOP per byte of memory traffic."""
+        return self.flop / self.io_bytes
+
+    @property
+    def achieved_flops(self) -> float:
+        """Achieved throughput, FLOP/s."""
+        return self.flop / self.latency
+
+
+def roofline_bound(spec: GpuSpec, intensity: float) -> float:
+    """The attainable FLOP/s at ``intensity`` FLOP/byte on ``spec``.
+
+    ``min(peak, intensity * bandwidth)`` — the classic two-segment roof.
+    """
+    check_nonnegative("intensity", intensity)
+    return min(spec.peak_fp16_flops, intensity * spec.hbm_bandwidth)
+
+
+def roofline_latency(spec: GpuSpec, flop: float, io_bytes: float) -> float:
+    """Ideal latency of a kernel moving ``io_bytes`` and computing ``flop``.
+
+    The larger of the compute time and the memory time; no overheads. The
+    kernel models in :mod:`repro.hw.kernels` add launch cost and efficiency
+    factors on top of this bound.
+    """
+    check_nonnegative("flop", flop)
+    check_nonnegative("io_bytes", io_bytes)
+    return max(flop / spec.peak_fp16_flops, io_bytes / spec.hbm_bandwidth)
+
+
+def roofline_series(
+    spec: GpuSpec, intensities: "list[float]"
+) -> "list[tuple[float, float]]":
+    """(intensity, attainable FLOP/s) pairs for drawing the roof itself."""
+    return [(x, roofline_bound(spec, x)) for x in intensities]
+
+
+def ridge_point(spec: GpuSpec) -> float:
+    """Arithmetic intensity where the memory roof meets the compute roof."""
+    return spec.peak_fp16_flops / spec.hbm_bandwidth
+
+
+def roofline_ascii(
+    spec: GpuSpec,
+    points: "list[RooflinePoint]",
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """Render a log-log roofline chart with ``points`` as ASCII art.
+
+    The roof is drawn with ``/`` (bandwidth slope) and ``-`` (compute
+    ceiling); each point is marked with the first character of its label.
+    Made for terminals — the Fig 7 CLI output uses it.
+    """
+    import math
+
+    if not points:
+        raise ValueError("need at least one point to plot")
+    if width < 20 or height < 6:
+        raise ValueError("plot too small to be legible")
+
+    xs = [p.arithmetic_intensity for p in points]
+    ys = [p.achieved_flops for p in points]
+    x_lo = math.log10(min(xs)) - 0.3
+    x_hi = max(math.log10(max(xs)), math.log10(ridge_point(spec))) + 0.5
+    y_hi = math.log10(spec.peak_fp16_flops) + 0.2
+    y_lo = min(math.log10(min(ys)), y_hi - 4.0) - 0.3
+
+    def col(x_log: float) -> int:
+        return int((x_log - x_lo) / (x_hi - x_lo) * (width - 1))
+
+    def row(y_log: float) -> int:
+        # Row 0 is the top of the plot.
+        frac = (y_log - y_lo) / (y_hi - y_lo)
+        return (height - 1) - int(frac * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+
+    # The roof itself.
+    for c in range(width):
+        x_log = x_lo + (x_hi - x_lo) * c / (width - 1)
+        bound = roofline_bound(spec, 10**x_log)
+        r = row(math.log10(bound))
+        if 0 <= r < height:
+            ridge = math.log10(ridge_point(spec))
+            grid[r][c] = "-" if x_log >= ridge else "/"
+
+    # The measured points (drawn after, so they sit on top of the roof).
+    for p in points:
+        r = row(math.log10(p.achieved_flops))
+        c = col(math.log10(p.arithmetic_intensity))
+        if 0 <= r < height and 0 <= c < width:
+            grid[r][c] = p.label[0] if p.label else "*"
+
+    top = f"{10**y_hi:.1e} FLOP/s"
+    bottom = f"{10**y_lo:.1e}"
+    lines = [top]
+    lines += ["|" + "".join(line) for line in grid]
+    lines.append("+" + "-" * width)
+    lines.append(
+        f"{bottom}  x: {10**x_lo:.2g} .. {10**x_hi:.2g} FLOP/byte (log), "
+        f"ridge {ridge_point(spec):.0f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""GPU device specifications and calibration constants.
+
+All constants that tie the analytical model to the paper's A100 testbeds
+live here (single source of truth). DESIGN.md §5 documents how each was
+derived from numbers reported in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.utils.units import GB, GIB, TB, US
+
+
+@dataclass(frozen=True)
+class GemvBandwidthModel:
+    """Achieved HBM bandwidth of the SGMV GEMV schedule as a function of row length.
+
+    Fig 9 of the paper shows per-LoRA incremental latency shrinking (per
+    byte) as the rank grows: larger contiguous rows coalesce better. We use
+    a saturating curve ``bw(r) = bw_max * r / (r + r_half)``; together with
+    the per-segment host cost below it reproduces Fig 9's bs-64 rank sweep
+    (72/75/89/118 us at ranks 8/16/32/64).
+    """
+
+    bw_max: float = 1_300 * GB
+    r_half: float = 8.0
+
+    def achieved(self, rank: int) -> float:
+        """Achieved aggregate bandwidth (bytes/s) for rank-``rank`` rows."""
+        if rank <= 0:
+            raise ValueError(f"rank must be positive, got {rank}")
+        return self.bw_max * rank / (rank + self.r_half)
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """An NVIDIA data-center GPU for the analytical cost model.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    peak_fp16_flops:
+        Peak dense fp16 tensor-core throughput, FLOP/s.
+    hbm_bandwidth:
+        Peak HBM bandwidth, bytes/s.
+    hbm_capacity:
+        Total device memory, bytes.
+    num_sms:
+        Streaming multiprocessor count (bounds kernel parallelism).
+    kernel_launch_overhead:
+        Fixed host-side cost of one kernel launch, seconds.
+    framework_op_overhead:
+        Extra per-operator cost of an *eager framework* dispatch (PyTorch
+        Python -> ATen -> cuBLAS), paid by the Loop baseline once per
+        matmul. Fused/captured kernels (SGMV, the serving engine's graph)
+        do not pay it.
+    sgmv_kernel_overhead:
+        Device-side fixed cost of one SGMV launch (launch + the grid sync
+        the Split-K schedule needs) when launched back-to-back inside the
+        serving engine.
+    op_dispatch_overhead:
+        Host-side cost of dispatching one standalone custom op through the
+        PyTorch extension layer — paid in the *microbenchmark* setting
+        (Figs 8/9) but not in-engine. The paper's 37 us batch-1 full-LoRA
+        latency = 2 launches x (kernel + dispatch) ~= 2 x 18 us.
+    segment_host_cost:
+        Host-side cost *per segment per standalone launch* of building the
+        SGMV segment-pointer arrays. The serving engine computes segment
+        indices once per model invocation and reuses them 7L times (§6),
+        so this cost vanishes in-engine; in the Fig 8/9 microbenchmark it
+        recurs on every op call and produces the near-linear latency growth
+        with the number of distinct LoRA models.
+    gemm_efficiency:
+        Fraction of peak tensor-core FLOP/s a large dense GEMM achieves.
+    attention_bandwidth_efficiency:
+        Fraction of HBM bandwidth achieved by batch-decode attention kernels
+        (FlashInfer-style); attention reads are more scattered than GEMM
+        weight streams.
+    tc_bandwidth_efficiency:
+        Fraction of HBM bandwidth achieved by the tensor-core SGMV schedule
+        when streaming LoRA weight tiles.
+    gemv_bw:
+        Saturating-bandwidth model for the GEMV (all-distinct) schedule.
+    fused_layernorm_latency / unfused_layernorm_latency:
+        Measured in the paper's §6: fusing LayerNorm reduced 110 us to 4 us.
+    """
+
+    name: str
+    peak_fp16_flops: float
+    hbm_bandwidth: float
+    hbm_capacity: float
+    num_sms: int = 108
+    kernel_launch_overhead: float = 5 * US
+    framework_op_overhead: float = 10 * US
+    sgmv_kernel_overhead: float = 3.5 * US
+    op_dispatch_overhead: float = 14.5 * US
+    segment_host_cost: float = 0.15 * US
+    gemm_efficiency: float = 0.62
+    attention_bandwidth_efficiency: float = 0.55
+    tc_bandwidth_efficiency: float = 0.65
+    gemv_bw: GemvBandwidthModel = field(default_factory=GemvBandwidthModel)
+    fused_layernorm_latency: float = 4 * US
+    unfused_layernorm_latency: float = 110 * US
+
+    def __post_init__(self) -> None:
+        for attr in ("peak_fp16_flops", "hbm_bandwidth", "hbm_capacity", "num_sms"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+
+    def with_overrides(self, **kwargs: object) -> "GpuSpec":
+        """Return a copy with selected fields replaced (for ablations)."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+#: Testbed #1: one A100 80GB SXM (1 935 GB/s HBM).
+A100_80G = GpuSpec(
+    name="A100-SXM4-80GB",
+    peak_fp16_flops=312 * TB,  # 312 TFLOP/s
+    hbm_bandwidth=1_935 * GB,
+    hbm_capacity=80 * GIB,
+)
+
+#: Testbed #2: HGX A100 40GB (1 555 GB/s HBM), 8 per server, NvSwitch.
+A100_40G = GpuSpec(
+    name="A100-SXM4-40GB",
+    peak_fp16_flops=312 * TB,
+    hbm_bandwidth=1_555 * GB,
+    hbm_capacity=40 * GIB,
+)
+
+#: Bytes per element for fp16 — the paper serves all models in 16-bit.
+FP16_BYTES = 2

@@ -1,0 +1,28 @@
+"""KvCache memory management.
+
+Punica's KvCache layout (§5.4) is paged and batch-separable:
+
+    [sum_i ceil(S_i / P), L, 2, N, P, D]
+
+so requests can join and leave a batch independently (continuous batching)
+and fragmentation is bounded by one page per request. The HuggingFace
+layout ``[L, 2, B, N, S, D]`` is also implemented as the baseline: it keeps
+the batch dimension inside, making requests inseparable — short requests
+must run wasted decode steps until the longest request in their batch
+finishes (Fig 6).
+"""
+
+from repro.kvcache.contiguous import ContiguousKvCache, wasted_decode_steps
+from repro.kvcache.page import PageAllocator, PageAllocatorStats, pages_needed
+from repro.kvcache.pool import KvPool, PagedKvData, kv_bytes_per_token
+
+__all__ = [
+    "ContiguousKvCache",
+    "KvPool",
+    "PageAllocator",
+    "PageAllocatorStats",
+    "PagedKvData",
+    "kv_bytes_per_token",
+    "pages_needed",
+    "wasted_decode_steps",
+]

@@ -1,0 +1,87 @@
+"""The HuggingFace-style contiguous KvCache baseline (paper §5.4, Fig 6).
+
+Layout ``[L, 2, B, N, S, D]`` with the batch dimension *inside*: every
+decode step concatenates one column along the sequence dimension (copying
+the whole cache), and requests that entered a batch together cannot leave
+it until the longest one finishes — shorter requests burn wasted decode
+steps. Both costs are modelled here; :func:`wasted_decode_steps` is the
+quantity Fig 6 illustrates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+class ContiguousKvCache:
+    """A batch-inseparable KvCache for one fixed batch of requests."""
+
+    def __init__(
+        self,
+        batch_ids: Sequence[str],
+        num_layers: int,
+        num_kv_heads: int,
+        head_dim: int,
+        dtype: np.dtype = np.float32,
+    ):
+        if not batch_ids:
+            raise ValueError("batch must contain at least one request")
+        if len(set(batch_ids)) != len(batch_ids):
+            raise ValueError("duplicate request ids in batch")
+        self.batch_ids = list(batch_ids)
+        self.num_layers = num_layers
+        self.num_kv_heads = num_kv_heads
+        self.head_dim = head_dim
+        self.dtype = dtype
+        # [L, 2, B, N, S, D] with S = 0 initially.
+        self.data = np.zeros(
+            (num_layers, 2, len(self.batch_ids), num_kv_heads, 0, head_dim), dtype=dtype
+        )
+        self.copied_bytes = 0
+
+    @property
+    def seq_len(self) -> int:
+        return self.data.shape[4]
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.batch_ids)
+
+    def append_step(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Concatenate one token column for the whole batch.
+
+        ``k``/``v`` have shape ``(L, B, N, D)``. Reallocates and copies the
+        entire cache, which is the inefficiency the paper calls out: the
+        new data is only ``1/S`` of what gets moved.
+        """
+        expected = (self.num_layers, self.batch_size, self.num_kv_heads, self.head_dim)
+        if k.shape != expected or v.shape != expected:
+            raise ValueError(f"k/v must have shape {expected}, got {k.shape}/{v.shape}")
+        column = np.stack([k, v], axis=1)[:, :, :, :, None, :]  # [L,2,B,N,1,D]
+        old_bytes = self.data.nbytes
+        self.data = np.concatenate([self.data, column.astype(self.dtype)], axis=4)
+        # The whole old cache is read and rewritten, plus the new column.
+        self.copied_bytes += old_bytes + column.nbytes
+
+    def get(self, layer: int, batch_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """K and V history for one request: shapes ``(N, S, D)``."""
+        return self.data[layer, 0, batch_index], self.data[layer, 1, batch_index]
+
+
+def wasted_decode_steps(decode_lengths: Sequence[int]) -> int:
+    """Wasted decode steps when a batch is inseparable (Fig 6).
+
+    Every request runs ``max(decode_lengths)`` steps, so request ``i``
+    wastes ``max - decode_lengths[i]``. With a separable layout the waste
+    is zero; this is the quantity behind FasterTransformer's and
+    DeepSpeed's throughput loss in Fig 11.
+    """
+    lens = list(decode_lengths)
+    if not lens:
+        return 0
+    if any(l < 0 for l in lens):
+        raise ValueError(f"decode lengths must be nonnegative, got {lens}")
+    longest = max(lens)
+    return sum(longest - l for l in lens)

@@ -1,0 +1,183 @@
+"""Paged KvCache with real storage, in the paper's layout (§5.4).
+
+:class:`KvPool` is the *accounting* view the scheduler and engine use: it
+wraps a :class:`~repro.kvcache.page.PageAllocator` sized from a byte budget
+and a model configuration. :class:`PagedKvData` adds actual NumPy storage
+in the paper's ``[pages, L, 2, N, P, D]`` layout, used by the functional
+(toy-scale) backend so that paged attention is numerically exercised — the
+K/V vectors a request reads back are exactly the ones it wrote, regardless
+of how pages were recycled in between.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kvcache.page import PageAllocator
+
+
+def kv_bytes_per_token(
+    num_layers: int, num_kv_heads: int, head_dim: int, dtype_bytes: int = 2
+) -> int:
+    """Bytes of KvCache one token occupies: ``L * 2 * N_kv * D * dtype``."""
+    if min(num_layers, num_kv_heads, head_dim, dtype_bytes) <= 0:
+        raise ValueError("all KvCache dimensions must be positive")
+    return num_layers * 2 * num_kv_heads * head_dim * dtype_bytes
+
+
+class KvPool:
+    """Byte-budgeted paged KvCache accounting for one GPU.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        GPU memory reserved for KvCache (total memory minus backbone
+        weights minus activation workspace).
+    page_size:
+        Tokens per page (the paper's ``P``).
+    bytes_per_token:
+        From :func:`kv_bytes_per_token` for the served model.
+    """
+
+    def __init__(self, capacity_bytes: float, page_size: int, bytes_per_token: int):
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity_bytes must be positive, got {capacity_bytes}")
+        if bytes_per_token <= 0:
+            raise ValueError(f"bytes_per_token must be positive, got {bytes_per_token}")
+        page_bytes = page_size * bytes_per_token
+        total_pages = int(capacity_bytes // page_bytes)
+        if total_pages <= 0:
+            raise ValueError(
+                f"capacity {capacity_bytes} bytes holds no {page_bytes}-byte page"
+            )
+        self.page_size = page_size
+        self.bytes_per_token = bytes_per_token
+        self.allocator = PageAllocator(total_pages=total_pages, page_size=page_size)
+
+    # Delegation keeps one source of truth for the allocation logic.
+    @property
+    def total_pages(self) -> int:
+        return self.allocator.total_pages
+
+    @property
+    def free_pages(self) -> int:
+        return self.allocator.free_pages
+
+    @property
+    def free_tokens(self) -> int:
+        """Guaranteed-admittable token capacity right now."""
+        return self.allocator.free_pages * self.page_size
+
+    def can_admit(self, prompt_len: int, headroom_tokens: int = 0) -> bool:
+        """Whether a new request's prompt plus ``headroom_tokens`` fits."""
+        return self.allocator.can_allocate(prompt_len + headroom_tokens)
+
+    def allocate(self, seq_id: str, seq_len: int) -> list[int]:
+        return self.allocator.allocate(seq_id, seq_len)
+
+    def append_token(self, seq_id: str) -> list[int]:
+        return self.allocator.append(seq_id, 1)
+
+    def can_append_token(self, seq_id: str) -> bool:
+        return self.allocator.can_append(seq_id, 1)
+
+    def free(self, seq_id: str) -> int:
+        return self.allocator.free(seq_id)
+
+    def seq_len(self, seq_id: str) -> int:
+        return self.allocator.seq_len(seq_id)
+
+    def __contains__(self, seq_id: str) -> bool:
+        return seq_id in self.allocator
+
+    def used_bytes(self) -> int:
+        return self.allocator.used_pages * self.page_size * self.bytes_per_token
+
+
+class PagedKvData:
+    """Paged KvCache with real storage: ``data[page, layer, kv, head, slot, dim]``.
+
+    Writes go through ``(seq page list, in-page slot)`` indirection just
+    like the CUDA kernels do; :meth:`gather` linearizes one sequence's
+    history for the attention computation.
+    """
+
+    def __init__(
+        self,
+        total_pages: int,
+        page_size: int,
+        num_layers: int,
+        num_kv_heads: int,
+        head_dim: int,
+        dtype: np.dtype = np.float32,
+    ):
+        self.allocator = PageAllocator(total_pages=total_pages, page_size=page_size)
+        self.page_size = page_size
+        self.num_layers = num_layers
+        self.num_kv_heads = num_kv_heads
+        self.head_dim = head_dim
+        self.data = np.zeros(
+            (total_pages, num_layers, 2, num_kv_heads, page_size, head_dim), dtype=dtype
+        )
+        self._lengths: dict[str, int] = {}
+
+    def allocate(self, seq_id: str, seq_len: int) -> None:
+        """Reserve pages for ``seq_len`` tokens (written via :meth:`write_token`)."""
+        self.allocator.allocate(seq_id, seq_len)
+        self._lengths[seq_id] = 0
+
+    def append_slot(self, seq_id: str) -> None:
+        """Reserve space for one more token of an existing sequence."""
+        self.allocator.append(seq_id, 1)
+
+    def free(self, seq_id: str) -> None:
+        self.allocator.free(seq_id)
+        del self._lengths[seq_id]
+
+    def _locate(self, seq_id: str, position: int) -> tuple[int, int]:
+        pages = self.allocator.pages_of(seq_id)
+        page_idx, slot = divmod(position, self.page_size)
+        if page_idx >= len(pages):
+            raise IndexError(
+                f"position {position} beyond allocated pages of {seq_id!r}"
+            )
+        return pages[page_idx], slot
+
+    def write_token(
+        self, seq_id: str, layer: int, position: int, k: np.ndarray, v: np.ndarray
+    ) -> None:
+        """Store one token's K and V for one layer. Shapes ``(N_kv, D)``."""
+        page, slot = self._locate(seq_id, position)
+        expected = (self.num_kv_heads, self.head_dim)
+        if k.shape != expected or v.shape != expected:
+            raise ValueError(f"k/v must have shape {expected}, got {k.shape}/{v.shape}")
+        self.data[page, layer, 0, :, slot, :] = k
+        self.data[page, layer, 1, :, slot, :] = v
+        if layer == self.num_layers - 1:
+            self._lengths[seq_id] = max(self._lengths[seq_id], position + 1)
+
+    def written_len(self, seq_id: str) -> int:
+        """Tokens fully written (all layers) for ``seq_id``."""
+        if seq_id not in self._lengths:
+            raise KeyError(f"unknown sequence {seq_id!r}")
+        return self._lengths[seq_id]
+
+    def gather(self, seq_id: str, layer: int, length: int) -> tuple[np.ndarray, np.ndarray]:
+        """Linearize the first ``length`` tokens of K and V: ``(N_kv, length, D)``."""
+        pages = self.allocator.pages_of(seq_id)
+        if length > len(pages) * self.page_size:
+            raise IndexError(f"length {length} beyond pages of {seq_id!r}")
+        k_parts, v_parts = [], []
+        remaining = length
+        for page in pages:
+            if remaining <= 0:
+                break
+            take = min(self.page_size, remaining)
+            k_parts.append(self.data[page, layer, 0, :, :take, :])
+            v_parts.append(self.data[page, layer, 1, :, :take, :])
+            remaining -= take
+        k = np.concatenate(k_parts, axis=1) if k_parts else np.zeros(
+            (self.num_kv_heads, 0, self.head_dim), dtype=self.data.dtype
+        )
+        v = np.concatenate(v_parts, axis=1) if v_parts else np.zeros_like(k)
+        return k, v

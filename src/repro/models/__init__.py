@@ -1,0 +1,51 @@
+"""Llama-2 model family: configurations, a functional NumPy implementation,
+per-step analytical performance, and Megatron tensor parallelism.
+
+Two faces, per DESIGN.md §6:
+
+* :class:`LlamaConfig` presets for 7B/13B/70B drive the *analytical* cost
+  accounting used by every figure bench.
+* :func:`tiny_config` + :class:`LlamaModel` form a real (toy-scale)
+  transformer — RMSNorm, RoPE, SwiGLU, optional GQA — that actually
+  generates tokens through the paged KvCache and batched SGMV LoRA paths,
+  proving the serving semantics numerically.
+"""
+
+from repro.models.config import (
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    LlamaConfig,
+    tiny_config,
+)
+from repro.models.llama import LlamaModel, TokenBatch
+from repro.models.perf import (
+    PUNICA_FLAGS,
+    PerfFlags,
+    StepWorkload,
+    decode_step_workload,
+    model_step_latency,
+    transformer_layer_latency,
+)
+from repro.models.tp import SINGLE_GPU, TensorParallelConfig
+from repro.models.weights import LlamaWeights, random_llama_weights
+
+__all__ = [
+    "LLAMA2_13B",
+    "LLAMA2_70B",
+    "LLAMA2_7B",
+    "LlamaConfig",
+    "LlamaModel",
+    "LlamaWeights",
+    "PUNICA_FLAGS",
+    "PerfFlags",
+    "SINGLE_GPU",
+    "StepWorkload",
+    "TensorParallelConfig",
+    "TokenBatch",
+    "decode_step_workload",
+    "model_step_latency",
+    "random_llama_weights",
+    "tiny_config",
+    "transformer_layer_latency",
+]

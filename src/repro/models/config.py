@@ -1,0 +1,142 @@
+"""Llama-2 architecture configurations (Touvron et al., 2023).
+
+The 7B/13B/70B presets match the released architectures; the paper serves
+all three in fp16 with LoRA rank 16 applied to every dense projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.spec import FP16_BYTES
+from repro.kvcache.pool import kv_bytes_per_token
+
+
+@dataclass(frozen=True)
+class LlamaConfig:
+    """Architecture hyperparameters of one Llama-family model."""
+
+    name: str
+    hidden_size: int
+    intermediate_size: int
+    num_layers: int
+    num_heads: int
+    num_kv_heads: int
+    vocab_size: int = 32_000
+    max_seq_len: int = 4_096
+    rope_theta: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError(
+                f"hidden_size {self.hidden_size} not divisible by num_heads {self.num_heads}"
+            )
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ValueError(
+                f"num_heads {self.num_heads} not divisible by num_kv_heads {self.num_kv_heads}"
+            )
+        for attr in ("hidden_size", "intermediate_size", "num_layers", "vocab_size"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Width of the K and V projections (GQA-aware)."""
+        return self.num_kv_heads * self.head_dim
+
+    def proj_dims(self) -> dict[str, tuple[int, int]]:
+        """``(h_in, h_out)`` of every dense projection LoRA attaches to."""
+        h, inter, kv = self.hidden_size, self.intermediate_size, self.kv_dim
+        return {
+            "q": (h, h),
+            "k": (h, kv),
+            "v": (h, kv),
+            "o": (h, h),
+            "gate": (h, inter),
+            "up": (h, inter),
+            "down": (inter, h),
+        }
+
+    def layer_param_count(self) -> int:
+        """Parameters in one transformer layer (projections + norms)."""
+        projections = sum(i * o for i, o in self.proj_dims().values())
+        norms = 2 * self.hidden_size
+        return projections + norms
+
+    def param_count(self) -> int:
+        """Total parameters including embeddings and the LM head."""
+        embed = self.vocab_size * self.hidden_size
+        return self.num_layers * self.layer_param_count() + 2 * embed + self.hidden_size
+
+    def weight_bytes(self) -> int:
+        """fp16 footprint of the backbone — what one GPU must hold resident."""
+        return self.param_count() * FP16_BYTES
+
+    def kv_bytes_per_token(self) -> int:
+        """KvCache bytes one token occupies across all layers."""
+        return kv_bytes_per_token(self.num_layers, self.num_kv_heads, self.head_dim)
+
+    def lora_param_count(self, rank: int) -> int:
+        """Parameters of one LoRA model at ``rank`` on all projections."""
+        if rank <= 0:
+            raise ValueError(f"rank must be positive, got {rank}")
+        return self.num_layers * sum(
+            (i + o) * rank for i, o in self.proj_dims().values()
+        )
+
+    def lora_bytes(self, rank: int) -> int:
+        """fp16 footprint of one LoRA model — the §5.2 on-demand load unit."""
+        return self.lora_param_count(rank) * FP16_BYTES
+
+
+LLAMA2_7B = LlamaConfig(
+    name="llama2-7b",
+    hidden_size=4_096,
+    intermediate_size=11_008,
+    num_layers=32,
+    num_heads=32,
+    num_kv_heads=32,
+)
+
+LLAMA2_13B = LlamaConfig(
+    name="llama2-13b",
+    hidden_size=5_120,
+    intermediate_size=13_824,
+    num_layers=40,
+    num_heads=40,
+    num_kv_heads=40,
+)
+
+LLAMA2_70B = LlamaConfig(
+    name="llama2-70b",
+    hidden_size=8_192,
+    intermediate_size=28_672,
+    num_layers=80,
+    num_heads=64,
+    num_kv_heads=8,  # grouped-query attention
+)
+
+
+def tiny_config(
+    hidden_size: int = 64,
+    num_layers: int = 2,
+    num_heads: int = 4,
+    num_kv_heads: int | None = None,
+    vocab_size: int = 128,
+    intermediate_size: int | None = None,
+) -> LlamaConfig:
+    """A toy Llama for the functional backend and fast tests."""
+    return LlamaConfig(
+        name="llama-tiny",
+        hidden_size=hidden_size,
+        intermediate_size=intermediate_size or hidden_size * 3,
+        num_layers=num_layers,
+        num_heads=num_heads,
+        num_kv_heads=num_kv_heads if num_kv_heads is not None else num_heads,
+        vocab_size=vocab_size,
+        max_seq_len=512,
+    )

@@ -1,0 +1,212 @@
+"""Analytical step latency of one batched model invocation.
+
+Bridges the kernel cost model (:mod:`repro.hw.kernels`) and the serving
+runtime: given *what* a batch contains — prefill lengths, decode KvCache
+lengths, token-level LoRA segments — these functions price one transformer
+layer and one full model step on a :class:`~repro.hw.spec.GpuSpec`,
+optionally sharded with Megatron tensor parallelism.
+
+Capability flags (``flash``, ``fused_layernorm``, ``cache_concat``) exist
+so the baseline frameworks of Fig 11 can be priced through the *same*
+formulas with their documented inefficiencies switched on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.kernels import KernelCostModel
+from repro.hw.spec import FP16_BYTES
+from repro.models.config import LlamaConfig
+from repro.models.tp import TensorParallelConfig, SINGLE_GPU
+
+
+@dataclass(frozen=True)
+class StepWorkload:
+    """The shape of one batched invocation.
+
+    Attributes
+    ----------
+    prefill_lens:
+        New-token counts of the prefill requests in the batch (Punica keeps
+        at most one; baselines may prefill whole batches).
+    decode_kv_lens:
+        For each decode request, the KvCache length it attends over
+        (past tokens; the new token adds one).
+    lora_segments:
+        Token-level SGMV segment sizes, or ``None`` when serving the bare
+        backbone (the vLLM/FasterTransformer baselines).
+    lora_rank:
+        Rank of every LoRA model in the batch (16 in all paper experiments).
+    """
+
+    prefill_lens: tuple[int, ...] = ()
+    decode_kv_lens: tuple[int, ...] = ()
+    lora_segments: tuple[int, ...] | None = None
+    lora_rank: int = 16
+
+    def __post_init__(self) -> None:
+        if any(l <= 0 for l in self.prefill_lens):
+            raise ValueError(f"prefill lengths must be positive, got {self.prefill_lens}")
+        if any(l < 0 for l in self.decode_kv_lens):
+            raise ValueError(f"kv lengths must be nonnegative, got {self.decode_kv_lens}")
+        if not self.prefill_lens and not self.decode_kv_lens:
+            raise ValueError("workload must contain at least one request")
+        if self.lora_segments is not None:
+            if any(s <= 0 for s in self.lora_segments):
+                raise ValueError("lora segments must be positive")
+            if sum(self.lora_segments) != self.num_tokens:
+                raise ValueError(
+                    f"lora segments cover {sum(self.lora_segments)} tokens, "
+                    f"batch has {self.num_tokens}"
+                )
+        if self.lora_rank <= 0:
+            raise ValueError(f"lora_rank must be positive, got {self.lora_rank}")
+
+    @property
+    def num_tokens(self) -> int:
+        """Tokens flowing through the dense projections this step."""
+        return sum(self.prefill_lens) + len(self.decode_kv_lens)
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.prefill_lens) + len(self.decode_kv_lens)
+
+
+@dataclass(frozen=True)
+class PerfFlags:
+    """Framework capability switches (all on = Punica; see baselines)."""
+
+    flash_attention: bool = True
+    fused_layernorm: bool = True
+    cache_concat: bool = False
+    """HF-style per-step KvCache reallocation (reads+writes the whole cache)."""
+    framework_overhead_per_layer: float = 0.0
+    """Extra eager-mode host time per layer (unoptimized frameworks)."""
+    lora_impl: str = "sgmv"
+    """Which batched LoRA operator the engine runs: "sgmv" (Punica),
+    "gather_bmm", or "loop" — the Fig 8 comparison, end to end."""
+
+    def __post_init__(self) -> None:
+        if self.lora_impl not in ("sgmv", "gather_bmm", "loop"):
+            raise ValueError(f"unknown lora_impl {self.lora_impl!r}")
+
+
+PUNICA_FLAGS = PerfFlags()
+
+
+def _lora_latency(
+    kcm: KernelCostModel,
+    work: StepWorkload,
+    h_in: int,
+    h_out: int,
+    impl: str = "sgmv",
+) -> float:
+    """Batched LoRA addon for one projection under the chosen operator."""
+    if work.lora_segments is None:
+        return 0.0
+    if impl == "sgmv":
+        return kcm.lora_addon(work.lora_segments, h_in, h_out, work.lora_rank)
+    if impl == "gather_bmm":
+        return kcm.gather_bmm_lora(work.lora_segments, h_in, h_out, work.lora_rank)
+    return kcm.loop_lora(work.lora_segments, h_in, h_out, work.lora_rank)
+
+
+def transformer_layer_latency(
+    config: LlamaConfig,
+    kcm: KernelCostModel,
+    work: StepWorkload,
+    tp: TensorParallelConfig = SINGLE_GPU,
+    flags: PerfFlags = PUNICA_FLAGS,
+) -> float:
+    """Latency of one transformer layer for ``work`` on one GPU (Fig 10).
+
+    Sums: two norms, Q/K/V/O projections (+LoRA), prefill and decode
+    attention kernels, the SwiGLU MLP (+LoRA), RoPE/residual elementwise
+    passes, and — under tensor parallelism — the two all-reduces.
+    """
+    tp.validate_for(config)
+    w = tp.world_size
+    h = config.hidden_size
+    kv_dim_shard = max(config.kv_dim // w, config.head_dim)
+    inter_shard = config.intermediate_size // w
+    heads_shard = tp.shard_heads(config)
+    kv_heads_shard = tp.shard_kv_heads(config)
+    tokens = work.num_tokens
+
+    t = 0.0
+    t += 2.0 * kcm.layernorm(fused=flags.fused_layernorm)
+
+    # Attention block projections (column-parallel q/k/v, row-parallel o).
+    t += kcm.gemm(tokens, h // w, h)  # q
+    t += kcm.gemm(tokens, kv_dim_shard, h)  # k
+    t += kcm.gemm(tokens, kv_dim_shard, h)  # v
+    t += kcm.gemm(tokens, h, h // w)  # o
+    t += _lora_latency(kcm, work, h, h // w, flags.lora_impl)  # q lora
+    t += 2.0 * _lora_latency(kcm, work, h, kv_dim_shard, flags.lora_impl)  # k, v lora
+    t += _lora_latency(kcm, work, h // w, h, flags.lora_impl)  # o lora
+
+    # Self-attention kernels: one BatchPrefill per prefill request, one
+    # BatchDecode over all decode requests (§5).
+    for s in work.prefill_lens:
+        t += kcm.attention_prefill(
+            s, heads_shard, config.head_dim, kv_heads_shard, flash=flags.flash_attention
+        )
+    if work.decode_kv_lens:
+        t += kcm.attention_decode(
+            [l + 1 for l in work.decode_kv_lens],
+            heads_shard,
+            config.head_dim,
+            kv_heads_shard,
+        )
+
+    # MLP (column-parallel gate/up, row-parallel down).
+    t += 2.0 * kcm.gemm(tokens, inter_shard, h)  # gate, up
+    t += kcm.gemm(tokens, h, inter_shard)  # down
+    t += 2.0 * _lora_latency(kcm, work, h, inter_shard, flags.lora_impl)  # gate, up lora
+    t += _lora_latency(kcm, work, inter_shard, h, flags.lora_impl)  # down lora
+
+    # RoPE + SiLU + two residual adds, all bandwidth-bound elementwise.
+    t += 4.0 * kcm.elementwise(tokens * h * FP16_BYTES / w)
+
+    # HF-style cache concatenation: the whole layer cache is copied.
+    if flags.cache_concat:
+        cache_tokens = sum(work.decode_kv_lens) + sum(work.prefill_lens)
+        cache_bytes = cache_tokens * 2 * kv_heads_shard * config.head_dim * FP16_BYTES
+        t += kcm.elementwise(cache_bytes)
+
+    t += tp.layer_allreduce_time(config, tokens)  # two all-reduces (method doubles)
+    t += flags.framework_overhead_per_layer
+    return t
+
+
+def model_step_latency(
+    config: LlamaConfig,
+    kcm: KernelCostModel,
+    work: StepWorkload,
+    tp: TensorParallelConfig = SINGLE_GPU,
+    flags: PerfFlags = PUNICA_FLAGS,
+) -> float:
+    """One full model invocation: all layers + embedding + LM head."""
+    layer = transformer_layer_latency(config, kcm, work, tp=tp, flags=flags)
+    t = config.num_layers * layer
+    # Embedding lookup for every input token.
+    t += kcm.elementwise(work.num_tokens * config.hidden_size * FP16_BYTES)
+    # LM head only for tokens that produce logits (one per request).
+    t += kcm.gemm(work.batch_size, config.vocab_size // tp.world_size, config.hidden_size)
+    t += kcm.layernorm(fused=flags.fused_layernorm)
+    return t
+
+
+def decode_step_workload(
+    kv_lens: "list[int]",
+    lora_segments: "list[int] | None" = None,
+    lora_rank: int = 16,
+) -> StepWorkload:
+    """Convenience: a pure decode step over ``kv_lens`` requests."""
+    return StepWorkload(
+        prefill_lens=(),
+        decode_kv_lens=tuple(kv_lens),
+        lora_segments=tuple(lora_segments) if lora_segments is not None else None,
+        lora_rank=lora_rank,
+    )

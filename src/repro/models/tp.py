@@ -1,0 +1,67 @@
+"""Megatron-style tensor parallelism (Shoeybi et al., 2019).
+
+The 70B experiment (§7.2, Fig 12) shards every transformer layer across 8
+GPUs: Q/K/V/gate/up projections column-parallel, O/down row-parallel, one
+all-reduce after the attention block and one after the MLP. LoRA weights
+shard the same way as their base projections, so SGMV dimensions divide by
+the world size exactly like the backbone GEMMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.interconnect import InterconnectSpec
+from repro.hw.spec import FP16_BYTES
+from repro.models.config import LlamaConfig
+
+
+@dataclass(frozen=True)
+class TensorParallelConfig:
+    """A tensor-parallel deployment of one model replica."""
+
+    world_size: int
+    interconnect: InterconnectSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {self.world_size}")
+        if self.world_size > 1 and self.interconnect is None:
+            raise ValueError("world_size > 1 requires an interconnect spec")
+
+    def validate_for(self, config: LlamaConfig) -> None:
+        """Check the model shards evenly (Megatron's divisibility rules)."""
+        w = self.world_size
+        if config.num_heads % w != 0:
+            raise ValueError(f"{config.num_heads} heads not divisible by tp={w}")
+        if config.num_kv_heads % w != 0 and w % config.num_kv_heads != 0:
+            raise ValueError(
+                f"{config.num_kv_heads} kv heads incompatible with tp={w}"
+            )
+        if config.intermediate_size % w != 0:
+            raise ValueError(
+                f"intermediate size {config.intermediate_size} not divisible by tp={w}"
+            )
+
+    def shard_heads(self, config: LlamaConfig) -> int:
+        """Attention heads computed per GPU."""
+        return config.num_heads // self.world_size
+
+    def shard_kv_heads(self, config: LlamaConfig) -> int:
+        """KV heads per GPU (GQA heads replicate when tp > kv heads)."""
+        return max(1, config.num_kv_heads // self.world_size)
+
+    def weight_bytes_per_gpu(self, config: LlamaConfig) -> int:
+        """Backbone fp16 bytes resident on each GPU of the group."""
+        return config.weight_bytes() // self.world_size
+
+    def layer_allreduce_time(self, config: LlamaConfig, num_tokens: int) -> float:
+        """The two per-layer all-reduces over ``(tokens, hidden)`` activations."""
+        if self.world_size == 1 or self.interconnect is None:
+            return 0.0
+        nbytes = num_tokens * config.hidden_size * FP16_BYTES
+        return 2.0 * self.interconnect.allreduce_time(nbytes, self.world_size)
+
+
+#: Single-GPU deployment (Testbed #1).
+SINGLE_GPU = TensorParallelConfig(world_size=1)

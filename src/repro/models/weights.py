@@ -1,0 +1,106 @@
+"""Backbone weights for the functional (toy-scale) Llama.
+
+Weights are float32 NumPy arrays in *row-vector* convention: activations
+are ``(tokens, features)`` and projections are applied as ``x @ W`` with
+``W`` shaped ``(h_in, h_out)`` — the same convention as the LoRA addon
+``y += x A B``, so merged-weight equivalence tests are a plain addition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.config import LlamaConfig
+from repro.utils.rng import new_rng
+
+
+@dataclass(frozen=True)
+class LlamaLayerWeights:
+    """One transformer layer's parameters."""
+
+    wq: np.ndarray
+    wk: np.ndarray
+    wv: np.ndarray
+    wo: np.ndarray
+    w_gate: np.ndarray
+    w_up: np.ndarray
+    w_down: np.ndarray
+    input_norm: np.ndarray
+    post_attn_norm: np.ndarray
+
+    def projection(self, name: str) -> np.ndarray:
+        """Look up a projection by the LoRA target name (q/k/v/o/gate/up/down)."""
+        table = {
+            "q": self.wq,
+            "k": self.wk,
+            "v": self.wv,
+            "o": self.wo,
+            "gate": self.w_gate,
+            "up": self.w_up,
+            "down": self.w_down,
+        }
+        try:
+            return table[name]
+        except KeyError:
+            raise KeyError(f"unknown projection {name!r}") from None
+
+
+@dataclass(frozen=True)
+class LlamaWeights:
+    """Full backbone: embeddings, layers, final norm, LM head."""
+
+    config: LlamaConfig
+    embedding: np.ndarray
+    layers: tuple[LlamaLayerWeights, ...]
+    final_norm: np.ndarray
+    lm_head: np.ndarray
+
+    def __post_init__(self) -> None:
+        cfg = self.config
+        if self.embedding.shape != (cfg.vocab_size, cfg.hidden_size):
+            raise ValueError(f"embedding shape {self.embedding.shape} wrong for {cfg.name}")
+        if len(self.layers) != cfg.num_layers:
+            raise ValueError(
+                f"{len(self.layers)} layers supplied, config says {cfg.num_layers}"
+            )
+        if self.lm_head.shape != (cfg.hidden_size, cfg.vocab_size):
+            raise ValueError(f"lm_head shape {self.lm_head.shape} wrong for {cfg.name}")
+
+
+def random_llama_weights(
+    config: LlamaConfig, seed: "int | np.random.Generator | None" = 0
+) -> LlamaWeights:
+    """Random backbone weights, scaled ~1/sqrt(fan_in) to keep activations sane."""
+    rng = new_rng(seed)
+    cfg = config
+
+    def proj(h_in: int, h_out: int) -> np.ndarray:
+        return (rng.standard_normal((h_in, h_out)) / np.sqrt(h_in)).astype(np.float64)
+
+    dims = cfg.proj_dims()
+    layers = []
+    for _ in range(cfg.num_layers):
+        layers.append(
+            LlamaLayerWeights(
+                wq=proj(*dims["q"]),
+                wk=proj(*dims["k"]),
+                wv=proj(*dims["v"]),
+                wo=proj(*dims["o"]),
+                w_gate=proj(*dims["gate"]),
+                w_up=proj(*dims["up"]),
+                w_down=proj(*dims["down"]),
+                input_norm=np.ones(cfg.hidden_size),
+                post_attn_norm=np.ones(cfg.hidden_size),
+            )
+        )
+    return LlamaWeights(
+        config=cfg,
+        embedding=(rng.standard_normal((cfg.vocab_size, cfg.hidden_size))).astype(
+            np.float64
+        ),
+        layers=tuple(layers),
+        final_norm=np.ones(cfg.hidden_size),
+        lm_head=proj(cfg.hidden_size, cfg.vocab_size),
+    )

@@ -1,0 +1,247 @@
+"""Compute backends: how one batched invocation actually executes.
+
+Both backends expose the same narrow interface the engine drives —
+KvCache admission/append/release (backed by the page allocator) plus
+``execute(plan, past_lens)`` returning the step latency and one new token
+per request:
+
+* :class:`SimulatedBackend` prices the invocation with the analytical A100
+  model and emits placeholder tokens; response lengths come from the trace.
+* :class:`NumpyBackend` runs the functional Llama on real token ids and
+  samples real next tokens; it can *also* price the step with the cost
+  model, so the same run yields both semantics and timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.core.batch import BatchPlan
+from repro.core.lora import LoraRegistry
+from repro.hw.kernels import KernelCostModel
+from repro.hw.spec import A100_80G, GpuSpec
+from repro.kvcache.pool import KvPool, PagedKvData
+from repro.models.config import LlamaConfig
+from repro.models.llama import LlamaModel, TokenBatch
+from repro.models.perf import PUNICA_FLAGS, PerfFlags, StepWorkload, model_step_latency
+from repro.models.tp import SINGLE_GPU, TensorParallelConfig
+from repro.models.weights import LlamaWeights
+from repro.runtime.request import Request
+from repro.runtime.sampler import GreedySampler
+from repro.utils.units import GIB
+
+
+@dataclass(frozen=True)
+class StepExecution:
+    """Result of one batched invocation."""
+
+    latency: float
+    tokens: dict[str, int]
+    """request_id -> the one token this invocation produced for it."""
+
+
+def workload_from_plan(
+    plan: BatchPlan,
+    past_lens: Mapping[str, int],
+    serve_lora: bool,
+    lora_rank: int,
+) -> StepWorkload:
+    """Translate a planned batch into the analytical workload description."""
+    prefill_lens = tuple(e.num_tokens for e in plan.prefill_entries())
+    decode_kv = tuple(past_lens[e.request_id] for e in plan.decode_entries())
+    segments = tuple(int(s) for s in plan.segment_sizes) if serve_lora else None
+    return StepWorkload(
+        prefill_lens=prefill_lens,
+        decode_kv_lens=decode_kv,
+        lora_segments=segments,
+        lora_rank=lora_rank,
+    )
+
+
+class SimulatedBackend:
+    """Analytical-latency backend for full-scale (7B/13B/70B) experiments."""
+
+    def __init__(
+        self,
+        config: LlamaConfig,
+        gpu: GpuSpec = A100_80G,
+        tp: TensorParallelConfig = SINGLE_GPU,
+        flags: PerfFlags = PUNICA_FLAGS,
+        lora_rank: int = 16,
+        serve_lora: bool = True,
+        page_size: int = 16,
+        kv_capacity_bytes: float | None = None,
+        workspace_bytes: float = 2 * GIB,
+        step_overhead: float = 0.0005,
+    ):
+        """``kv_capacity_bytes`` defaults to HBM minus the (sharded) backbone
+        weights minus a workspace reserve — the paper's "large fraction of
+        GPU memory is reserved for KvCache". ``step_overhead`` is the
+        per-invocation host time (scheduling, sampling, token streaming)."""
+        self.config = config
+        self.gpu = gpu
+        self.tp = tp
+        self.flags = flags
+        self.lora_rank = lora_rank
+        self.serve_lora = serve_lora
+        self.step_overhead = step_overhead
+        self.cost_model = KernelCostModel(gpu)
+        if kv_capacity_bytes is None:
+            weights = config.weight_bytes() // tp.world_size
+            kv_capacity_bytes = gpu.hbm_capacity - weights - workspace_bytes
+            if kv_capacity_bytes <= 0:
+                raise ValueError(
+                    f"{config.name} does not fit on {gpu.name} with tp={tp.world_size}"
+                )
+        # Under TP the KvCache is sharded too; capacity stays per-GPU but
+        # each token's bytes shrink by the shard factor, so pool tokens in
+        # *logical* (unsharded) units for scheduler accounting.
+        bytes_per_token = max(1, config.kv_bytes_per_token() // tp.world_size)
+        self.kv = KvPool(
+            capacity_bytes=kv_capacity_bytes,
+            page_size=page_size,
+            bytes_per_token=bytes_per_token,
+        )
+        self._token_counter = 0
+
+    # -- KvCache interface ------------------------------------------------
+    def kv_can_admit(self, prompt_len: int, headroom_tokens: int = 0) -> bool:
+        return self.kv.can_admit(prompt_len, headroom_tokens)
+
+    def kv_admit(self, request_id: str, prompt_len: int) -> None:
+        self.kv.allocate(request_id, prompt_len)
+
+    def kv_can_append(self, request_id: str) -> bool:
+        return self.kv.can_append_token(request_id)
+
+    def kv_append(self, request_id: str) -> None:
+        self.kv.append_token(request_id)
+
+    def kv_release(self, request_id: str) -> None:
+        if request_id in self.kv:
+            self.kv.free(request_id)
+
+    def kv_free_tokens(self) -> int:
+        return self.kv.free_tokens
+
+    # -- execution ----------------------------------------------------------
+    def execute(
+        self,
+        plan: BatchPlan,
+        past_lens: Mapping[str, int],
+        requests: Mapping[str, Request] | None = None,
+    ) -> StepExecution:
+        work = workload_from_plan(plan, past_lens, self.serve_lora, self.lora_rank)
+        latency = model_step_latency(
+            self.config, self.cost_model, work, tp=self.tp, flags=self.flags
+        )
+        tokens = {}
+        for entry in plan.entries:
+            self._token_counter += 1
+            tokens[entry.request_id] = self._token_counter
+        return StepExecution(latency=latency + self.step_overhead, tokens=tokens)
+
+
+class NumpyBackend:
+    """Functional backend: really generates tokens at toy scale."""
+
+    def __init__(
+        self,
+        weights: LlamaWeights,
+        registry: LoraRegistry | None = None,
+        total_pages: int = 256,
+        page_size: int = 8,
+        sampler=None,
+        lora_rank: int = 16,
+        cost_model: KernelCostModel | None = None,
+        step_overhead: float = 0.0,
+    ):
+        cfg = weights.config
+        self.config = cfg
+        self.registry = registry
+        self.lora_rank = lora_rank
+        self.serve_lora = registry is not None
+        self.sampler = sampler or GreedySampler()
+        self.cost_model = cost_model
+        self.step_overhead = step_overhead
+        self.kv_data = PagedKvData(
+            total_pages=total_pages,
+            page_size=page_size,
+            num_layers=cfg.num_layers,
+            num_kv_heads=cfg.num_kv_heads,
+            head_dim=cfg.head_dim,
+            dtype=np.float64,
+        )
+        self.model = LlamaModel(weights, self.kv_data, registry)
+
+    # -- KvCache interface ------------------------------------------------
+    def kv_can_admit(self, prompt_len: int, headroom_tokens: int = 0) -> bool:
+        return self.kv_data.allocator.can_allocate(prompt_len + headroom_tokens)
+
+    def kv_admit(self, request_id: str, prompt_len: int) -> None:
+        self.kv_data.allocate(request_id, prompt_len)
+
+    def kv_can_append(self, request_id: str) -> bool:
+        return self.kv_data.allocator.can_append(request_id, 1)
+
+    def kv_append(self, request_id: str) -> None:
+        self.kv_data.append_slot(request_id)
+
+    def kv_release(self, request_id: str) -> None:
+        if request_id in self.kv_data.allocator:
+            self.kv_data.free(request_id)
+
+    def kv_free_tokens(self) -> int:
+        return self.kv_data.allocator.free_pages * self.kv_data.page_size
+
+    # -- execution ----------------------------------------------------------
+    def execute(
+        self,
+        plan: BatchPlan,
+        past_lens: Mapping[str, int],
+        requests: Mapping[str, Request] | None = None,
+    ) -> StepExecution:
+        if requests is None:
+            raise ValueError("NumpyBackend.execute needs the request objects")
+        token_ids: list[int] = []
+        pasts: list[int] = []
+        for entry in plan.entries:
+            req = requests[entry.request_id]
+            if req.prompt_tokens is None:
+                raise ValueError(
+                    f"{entry.request_id} has no prompt tokens (functional mode needs them)"
+                )
+            if entry.is_prefill:
+                history = list(req.prompt_tokens) + list(req.generated_tokens)
+                if len(history) != entry.num_tokens:
+                    raise ValueError(
+                        f"prefill entry for {entry.request_id} covers {entry.num_tokens} "
+                        f"tokens but history has {len(history)}"
+                    )
+                token_ids.extend(history)
+            else:
+                last = (
+                    req.generated_tokens[-1]
+                    if req.generated_tokens
+                    else req.prompt_tokens[-1]
+                )
+                token_ids.append(int(last))
+            pasts.append(past_lens[entry.request_id])
+
+        batch = TokenBatch(plan, np.asarray(token_ids, dtype=np.int64), tuple(pasts))
+        logits = self.model.forward(batch)
+        tokens = {}
+        for i, entry in enumerate(plan.entries):
+            req = requests[entry.request_id]
+            sampler = req.sampler if req.sampler is not None else self.sampler
+            tokens[entry.request_id] = sampler.sample(logits[i])
+
+        if self.cost_model is not None:
+            work = workload_from_plan(plan, past_lens, self.serve_lora, self.lora_rank)
+            latency = model_step_latency(self.config, self.cost_model, work)
+        else:
+            latency = 0.0
+        return StepExecution(latency=latency + self.step_overhead, tokens=tokens)

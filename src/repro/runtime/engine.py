@@ -1,0 +1,366 @@
+"""The single-GPU continuous-batching engine (paper §5).
+
+Each call to :meth:`GpuEngine.step` runs one batched model invocation:
+
+* every RUNNING request contributes one decode token;
+* at most ``prefill_batch_limit`` (=1, §5) pending requests whose LoRA
+  weights have finished loading are prefilled in the same invocation;
+* decode requests needing a new KvCache slot that cannot get one trigger
+  eviction of the *newest* requests (preserving FCFS, §5.3); evicted
+  requests are reported so the cluster scheduler can re-place them;
+* finished requests (length limit or EOS) leave the batch immediately —
+  the separable paged KvCache makes this free (§5.4).
+
+The engine is clock-free: callers pass ``now`` in and get the step latency
+back, so the same code runs under the discrete-event cluster simulator and
+under simple closed-loop drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.batch import BatchEntry, plan_batch
+from repro.runtime.loader import LoraLoader
+from repro.runtime.request import Request
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine policy knobs (paper defaults)."""
+
+    max_batch_size: int = 32
+    """Profiled sweet spot on A100 (§5.1)."""
+    prefill_batch_limit: int = 1
+    """Prefills per invocation; 1 minimizes the latency penalty (§5)."""
+    same_lora_only: bool = False
+    """Baseline restriction: batch only requests of one LoRA model (§7)."""
+    eos_token_id: int | None = None
+    """Functional mode's end-of-sequence stopping condition."""
+    admission_headroom_tokens: int = 0
+    """Extra free KvCache tokens required before admitting a new request."""
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.prefill_batch_limit < 0:
+            raise ValueError("prefill_batch_limit must be >= 0")
+
+
+@dataclass(frozen=True)
+class StepReport:
+    """What one engine step did — the unit every metric aggregates over."""
+
+    gpu_id: str
+    start: float
+    latency: float
+    batch_size: int
+    num_prefill: int
+    num_decode: int
+    num_lora_segments: int
+    new_tokens: dict[str, int]
+    finished: tuple[str, ...]
+    evicted: tuple[str, ...]
+
+    @property
+    def end(self) -> float:
+        return self.start + self.latency
+
+    @property
+    def tokens_generated(self) -> int:
+        return len(self.new_tokens)
+
+
+@dataclass
+class _Slot:
+    request: Request
+    admit_seq: int
+
+
+class GpuEngine:
+    """Continuous-batching engine for one GPU (or one TP group)."""
+
+    def __init__(
+        self,
+        gpu_id: str,
+        backend,
+        config: EngineConfig | None = None,
+        loader: LoraLoader | None = None,
+    ):
+        self.gpu_id = gpu_id
+        self.backend = backend
+        self.config = config or EngineConfig()
+        self.loader = loader or LoraLoader()
+        self._working: dict[str, _Slot] = {}
+        self._pending: list[_Slot] = []
+        self._admit_seq = 0
+
+    # ------------------------------------------------------------------
+    # Scheduler-facing state
+    # ------------------------------------------------------------------
+    @property
+    def working_set_size(self) -> int:
+        """The LLM-invocation batch size the scheduler routes on (§5.1)."""
+        return len(self._working) + len(self._pending)
+
+    @property
+    def is_idle(self) -> bool:
+        return self.working_set_size == 0
+
+    def kv_free_tokens(self) -> int:
+        return self.backend.kv_free_tokens()
+
+    def active_lora_ids(self) -> set[str]:
+        slots = list(self._working.values()) + self._pending
+        return {s.request.lora_id for s in slots}
+
+    def can_accept(self, request: Request) -> bool:
+        """Admission test the cluster scheduler runs (§5.1 constraints)."""
+        if self.working_set_size >= self.config.max_batch_size:
+            return False
+        if self.config.same_lora_only:
+            active = self.active_lora_ids()
+            if active and request.lora_id not in active:
+                return False
+        return self.backend.kv_can_admit(
+            request.effective_prompt_len, self.config.admission_headroom_tokens
+        )
+
+    def all_requests(self) -> list[Request]:
+        """Every request currently on this GPU (working + pending), in
+        admission order — what the migration pass iterates over."""
+        slots = sorted(
+            list(self._working.values()) + self._pending, key=lambda s: s.admit_seq
+        )
+        return [s.request for s in slots]
+
+    def next_ready_time(self) -> "float | None":
+        """Earliest time a pending request's LoRA load completes.
+
+        ``None`` when nothing is pending. The cluster simulator uses this to
+        wake a GPU that returned an empty step while a weight copy was in
+        flight (§5.2's overlap of loading and compute).
+        """
+        times = [self.loader.ready_time(s.request.lora_id) for s in self._pending]
+        return min(times) if times else None
+
+    def has_request(self, request_id: str) -> bool:
+        return request_id in self._working or any(
+            s.request.request_id == request_id for s in self._pending
+        )
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def add_request(self, request: Request, now: float) -> None:
+        """Assign a request to this GPU; its LoRA load starts immediately."""
+        if self.has_request(request.request_id):
+            raise ValueError(f"request {request.request_id} already on {self.gpu_id}")
+        if not self.can_accept(request):
+            raise RuntimeError(
+                f"{self.gpu_id} cannot accept {request.request_id} "
+                f"(working set {self.working_set_size}, "
+                f"free kv tokens {self.kv_free_tokens()})"
+            )
+        nbytes = self.backend.config.lora_bytes(self.backend.lora_rank)
+        self.loader.request_load(request.lora_id, nbytes, now)
+        self.loader.acquire(request.lora_id, now)
+        request.needs_prefill = True
+        request.mark_running(self.gpu_id, now)
+        self._pending.append(_Slot(request=request, admit_seq=self._admit_seq))
+        self._admit_seq += 1
+
+    def cancel(self, request_id: str, requeue: bool = False) -> Request:
+        """Remove a request: user cancellation, or migration step 1 (§5.3).
+
+        With ``requeue=True`` the request keeps its generated prefix and
+        returns to QUEUED (the migration path); otherwise it is CANCELLED.
+        """
+        slot = self._working.pop(request_id, None)
+        if slot is None:
+            for i, s in enumerate(self._pending):
+                if s.request.request_id == request_id:
+                    slot = self._pending.pop(i)
+                    break
+        if slot is None:
+            raise KeyError(f"request {request_id} not on {self.gpu_id}")
+        self.backend.kv_release(request_id)
+        self.loader.release(slot.request.lora_id)
+        if requeue:
+            slot.request.evict()
+        else:
+            slot.request.mark_cancelled()
+        return slot.request
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self, now: float) -> StepReport | None:
+        """Run one batched invocation; ``None`` when nothing can run."""
+        # Reserve one new KvCache slot per decode request FIRST (evicting
+        # newest requests on pressure), so prefill admission below can only
+        # use pages genuinely left over.
+        evicted: list[str] = []
+        decode_slots: list[_Slot] = []
+        past_lens: dict[str, int] = {}
+        appended: set[str] = set()
+        for slot in sorted(self._working.values(), key=lambda s: s.admit_seq):
+            req = slot.request
+            rid = req.request_id
+            if rid not in self._working:  # evicted as a victim earlier
+                continue
+            past = req.kv_len
+            if not self._append_with_eviction(rid, appended, evicted):
+                continue  # this request itself was evicted
+            appended.add(rid)
+            req.kv_len += 1
+            past_lens[rid] = past
+            decode_slots.append(slot)
+
+        prefill_slots = self._select_prefills(now)
+        if not decode_slots and not prefill_slots:
+            if evicted:
+                # Memory pressure with nothing runnable: surface the evictions.
+                return StepReport(
+                    gpu_id=self.gpu_id, start=now, latency=0.0, batch_size=0,
+                    num_prefill=0, num_decode=0, num_lora_segments=0,
+                    new_tokens={}, finished=(), evicted=tuple(evicted),
+                )
+            return None
+
+        entries: list[BatchEntry] = []
+        for slot in prefill_slots:
+            req = slot.request
+            entries.append(
+                BatchEntry(
+                    request_id=req.request_id,
+                    lora_id=req.lora_id,
+                    num_tokens=req.effective_prompt_len,
+                    is_prefill=True,
+                )
+            )
+            past_lens[req.request_id] = 0
+        for slot in decode_slots:
+            req = slot.request
+            entries.append(
+                BatchEntry(
+                    request_id=req.request_id,
+                    lora_id=req.lora_id,
+                    num_tokens=1,
+                    is_prefill=False,
+                )
+            )
+
+        plan = plan_batch(entries)
+        requests = {
+            s.request.request_id: s.request for s in prefill_slots + decode_slots
+        }
+        execution = self.backend.execute(plan, past_lens, requests=requests)
+        end = now + execution.latency
+
+        finished: list[str] = []
+        for slot in prefill_slots + decode_slots:
+            req = slot.request
+            if req.needs_prefill:
+                req.kv_len = req.effective_prompt_len
+                req.needs_prefill = False
+                self._working[req.request_id] = slot
+            token = execution.tokens[req.request_id]
+            req.record_token(token, end)
+            if self._is_finished(req, token):
+                finished.append(req.request_id)
+
+        for rid in finished:
+            slot = self._working.pop(rid)
+            self.backend.kv_release(rid)
+            self.loader.release(slot.request.lora_id)
+            slot.request.mark_finished(end)
+
+        return StepReport(
+            gpu_id=self.gpu_id,
+            start=now,
+            latency=execution.latency,
+            batch_size=len(entries),
+            num_prefill=len(prefill_slots),
+            num_decode=len(decode_slots),
+            num_lora_segments=plan.num_lora_segments,
+            new_tokens=dict(execution.tokens),
+            finished=tuple(finished),
+            evicted=tuple(evicted),
+        )
+
+    # ------------------------------------------------------------------
+    def _is_finished(self, req: Request, token: int) -> bool:
+        if req.reached_limit():
+            return True
+        eos = self.config.eos_token_id
+        return eos is not None and token == eos
+
+    def _append_with_eviction(
+        self, rid: str, appended: set[str], evicted: list[str]
+    ) -> bool:
+        """Append one KvCache slot for ``rid``, evicting newest requests on
+        pressure (§5.3: "evicts the newest request ... preserves FCFS").
+
+        Requests that already got their slot this step are never victims.
+        Returns False when ``rid`` itself had to be evicted.
+        """
+        while not self.backend.kv_can_append(rid):
+            victim = self._newest_evictable(exclude=appended)
+            if victim is None:
+                raise MemoryError(
+                    f"{self.gpu_id}: no evictable request can free a page for {rid}"
+                )
+            victim_id = victim.request.request_id
+            evicted.append(self._evict(victim))
+            if victim_id == rid:
+                return False
+        self.backend.kv_append(rid)
+        return True
+
+    def _newest_evictable(self, exclude: set[str]) -> "_Slot | None":
+        candidates = [
+            s
+            for s in self._working.values()
+            if s.request.request_id not in exclude
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda s: s.admit_seq)
+
+    def _evict(self, slot: _Slot) -> str:
+        rid = slot.request.request_id
+        del self._working[rid]
+        self.backend.kv_release(rid)
+        self.loader.release(slot.request.lora_id)
+        slot.request.evict()
+        return rid
+
+    def _select_prefills(self, now: float) -> list[_Slot]:
+        """Pick pending requests ready to prefill, FIFO, up to the limit."""
+        limit = self.config.prefill_batch_limit
+        if limit == 0 or not self._pending:
+            return []
+        selected: list[_Slot] = []
+        remaining: list[_Slot] = []
+        for slot in self._pending:
+            req = slot.request
+            ready = (
+                len(selected) < limit
+                and self.loader.is_ready(req.lora_id, now)
+                and self.backend.kv_can_admit(req.effective_prompt_len)
+                and self._lora_compatible(req)
+            )
+            if ready:
+                self.backend.kv_admit(req.request_id, req.effective_prompt_len)
+                selected.append(slot)
+            else:
+                remaining.append(slot)
+        self._pending = remaining
+        return selected
+
+    def _lora_compatible(self, req: Request) -> bool:
+        if not self.config.same_lora_only:
+            return True
+        active = {s.request.lora_id for s in self._working.values()}
+        return not active or req.lora_id in active

@@ -1,0 +1,135 @@
+"""Request lifecycle state.
+
+A request flows QUEUED -> RUNNING -> FINISHED, possibly bouncing back to
+QUEUED on migration/eviction (cancel + re-add, §5.3). The object records
+everything the scheduler, engine and metrics need: timing marks, generated
+tokens, and how many of its tokens are currently materialized in some GPU's
+KvCache.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.workloads.trace import RequestSpec
+
+
+class RequestState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    FINISHED = "finished"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class Request:
+    """One in-flight request (mutable runtime state around a RequestSpec)."""
+
+    spec: RequestSpec
+    state: RequestState = RequestState.QUEUED
+    prompt_tokens: "list[int] | None" = None
+    """Actual prompt ids (functional mode); None in simulation mode."""
+    sampler: "object | None" = None
+    """Per-request sampler override (functional mode); the backend's default
+    sampler is used when None. Lets tenants pick temperature/top-k."""
+    generated_tokens: list[int] = field(default_factory=list)
+    kv_len: int = 0
+    """Tokens of this request currently materialized in the GPU KvCache."""
+    needs_prefill: bool = True
+    gpu_id: "str | None" = None
+    first_admitted_time: "float | None" = None
+    first_token_time: "float | None" = None
+    finish_time: "float | None" = None
+    num_migrations: int = 0
+
+    @property
+    def request_id(self) -> str:
+        return self.spec.request_id
+
+    @property
+    def lora_id(self) -> str:
+        return self.spec.lora_id
+
+    @property
+    def num_generated(self) -> int:
+        return len(self.generated_tokens)
+
+    @property
+    def effective_prompt_len(self) -> int:
+        """Tokens a (re-)prefill must process: original prompt + everything
+        generated so far (migration recomputes the KvCache, §5.3)."""
+        return self.spec.prompt_len + self.num_generated
+
+    def reached_limit(self) -> bool:
+        """The length-limit stopping condition."""
+        return self.num_generated >= self.spec.response_len
+
+    def record_token(self, token: int, now: float) -> None:
+        """Append one generated token and stamp first-token latency."""
+        if self.state is not RequestState.RUNNING:
+            raise RuntimeError(
+                f"cannot record token for {self.request_id} in state {self.state}"
+            )
+        self.generated_tokens.append(token)
+        if self.first_token_time is None:
+            self.first_token_time = now
+
+    def mark_running(self, gpu_id: str, now: "float | None" = None) -> None:
+        if self.state not in (RequestState.QUEUED, RequestState.RUNNING):
+            raise RuntimeError(f"cannot run {self.request_id} from state {self.state}")
+        self.state = RequestState.RUNNING
+        self.gpu_id = gpu_id
+        if now is not None and self.first_admitted_time is None:
+            self.first_admitted_time = now
+
+    def mark_finished(self, now: float) -> None:
+        self.state = RequestState.FINISHED
+        self.finish_time = now
+        self.gpu_id = None
+        self.kv_len = 0
+
+    def mark_cancelled(self) -> None:
+        self.state = RequestState.CANCELLED
+        self.gpu_id = None
+        self.kv_len = 0
+
+    def evict(self) -> None:
+        """Cancel on the current GPU but keep progress (migration step 1).
+
+        The generated prefix is preserved; the next GPU re-establishes the
+        KvCache with a prefill over prompt + generated tokens.
+        """
+        if self.state is not RequestState.RUNNING:
+            raise RuntimeError(f"cannot evict {self.request_id} in state {self.state}")
+        self.state = RequestState.QUEUED
+        self.gpu_id = None
+        self.kv_len = 0
+        self.needs_prefill = True
+        self.num_migrations += 1
+
+    # -- latency metrics ------------------------------------------------
+    def normalized_latency(self) -> float:
+        """End-to-end latency per generated token (the serving SLO metric)."""
+        if self.finish_time is None:
+            raise RuntimeError(f"{self.request_id} not finished")
+        if not self.generated_tokens:
+            return 0.0
+        return (self.finish_time - self.spec.arrival_time) / len(self.generated_tokens)
+
+    def time_to_first_token(self) -> float:
+        if self.first_token_time is None:
+            raise RuntimeError(f"{self.request_id} has no first token yet")
+        return self.first_token_time - self.spec.arrival_time
+
+    def queue_wait(self) -> float:
+        """Time from arrival until first GPU admission."""
+        if self.first_admitted_time is None:
+            raise RuntimeError(f"{self.request_id} was never admitted")
+        return self.first_admitted_time - self.spec.arrival_time
+
+    def decode_time(self) -> float:
+        """First token to finish: the pure generation phase."""
+        if self.finish_time is None or self.first_token_time is None:
+            raise RuntimeError(f"{self.request_id} not finished")
+        return self.finish_time - self.first_token_time

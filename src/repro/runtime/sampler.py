@@ -1,0 +1,49 @@
+"""Next-token samplers for the functional backend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+
+@dataclass(frozen=True)
+class GreedySampler:
+    """Deterministic argmax decoding."""
+
+    def sample(self, logits: np.ndarray) -> int:
+        if logits.ndim != 1:
+            raise ValueError(f"logits must be 1-D, got shape {logits.shape}")
+        return int(np.argmax(logits))
+
+
+class TemperatureSampler:
+    """Softmax sampling with temperature and optional top-k truncation."""
+
+    def __init__(
+        self,
+        temperature: float = 1.0,
+        top_k: int | None = None,
+        seed: "int | np.random.Generator | None" = None,
+    ):
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        if top_k is not None and top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        self.temperature = temperature
+        self.top_k = top_k
+        self._rng = new_rng(seed)
+
+    def sample(self, logits: np.ndarray) -> int:
+        if logits.ndim != 1:
+            raise ValueError(f"logits must be 1-D, got shape {logits.shape}")
+        scaled = logits / self.temperature
+        if self.top_k is not None and self.top_k < len(scaled):
+            cutoff = np.partition(scaled, -self.top_k)[-self.top_k]
+            scaled = np.where(scaled >= cutoff, scaled, -np.inf)
+        scaled = scaled - scaled.max()
+        probs = np.exp(scaled)
+        probs /= probs.sum()
+        return int(self._rng.choice(len(probs), p=probs))

@@ -1,0 +1,38 @@
+"""Shared utilities: units, RNG helpers, table formatting, validation."""
+
+from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.tables import format_table
+from repro.utils.units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    MS,
+    TB,
+    US,
+    format_bytes,
+    format_duration,
+)
+from repro.utils.validation import check_nonnegative, check_positive, check_probability
+
+__all__ = [
+    "GB",
+    "GIB",
+    "KB",
+    "KIB",
+    "MB",
+    "MIB",
+    "MS",
+    "TB",
+    "US",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+    "format_bytes",
+    "format_duration",
+    "format_table",
+    "new_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,35 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic component in the library accepts either a seed or a
+``numpy.random.Generator``. These helpers normalize that choice and derive
+independent child streams so that simulations are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def new_rng(seed: "int | np.random.Generator | np.random.SeedSequence | None" = None) -> np.random.Generator:
+    """Return a ``Generator``; pass through if one is already supplied."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: "int | np.random.SeedSequence | None", n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent generators from one seed.
+
+    Used when a simulation has several stochastic subsystems (arrivals,
+    lengths, popularity) that must not share a stream — otherwise changing
+    one workload knob perturbs the others.
+    """
+    if n < 0:
+        raise ValueError(f"n must be nonnegative, got {n}")
+    if isinstance(seed, np.random.SeedSequence):
+        seq = seed
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

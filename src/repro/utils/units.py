@@ -1,0 +1,54 @@
+"""Unit constants and human-readable formatting.
+
+All byte quantities in this codebase are plain ``int``/``float`` counts of
+bytes; all durations are ``float`` seconds. These constants exist so call
+sites read naturally (``25 * GB`` rather than ``25e9``).
+"""
+
+from __future__ import annotations
+
+# Decimal (SI) byte units — used for bandwidth figures (GB/s as vendors quote).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+# Binary byte units — used for memory capacities.
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+# Time units expressed in seconds.
+US = 1e-6
+MS = 1e-3
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with a binary-prefix unit, e.g. ``format_bytes(3 * GIB)``.
+
+    >>> format_bytes(1024)
+    '1.00 KiB'
+    """
+    if n < 0:
+        return "-" + format_bytes(-n)
+    for unit, name in ((GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")):
+        if n >= unit:
+            return f"{n / unit:.2f} {name}"
+    return f"{n:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration at the most natural scale.
+
+    >>> format_duration(3.2e-05)
+    '32.0 us'
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= MS:
+        return f"{seconds / MS:.2f} ms"
+    if seconds >= US:
+        return f"{seconds / US:.1f} us"
+    return f"{seconds * 1e9:.1f} ns"

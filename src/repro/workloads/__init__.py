@@ -1,0 +1,45 @@
+"""Workload generation: lengths, LoRA popularity, arrivals, request traces.
+
+The paper's evaluation (§7) draws prompt/response lengths from ShareGPT and
+assigns requests to LoRA models under four popularity distributions —
+Distinct, Uniform, Skewed (Zipf-1.5) and Identical. The cluster experiment
+(Fig 13) uses a one-hour Poisson arrival process whose rate ramps up and
+then down. All of that is reproduced here with documented synthetic
+equivalents (we have no ShareGPT dump offline; see DESIGN.md §2).
+"""
+
+from repro.workloads.analysis import (
+    TraceSummary,
+    empirical_zipf_alpha,
+    popularity_histogram,
+    summarize_trace,
+)
+from repro.workloads.arrivals import PoissonArrivals, RampProfile, constant_rate
+from repro.workloads.lengths import LengthSample, ShareGptLengths
+from repro.workloads.popularity import (
+    POPULARITY_NAMES,
+    assign_lora_ids,
+    segment_sizes_for,
+    zipf_counts,
+)
+from repro.workloads.trace import RequestSpec, Trace, generate_trace, open_loop_trace
+
+__all__ = [
+    "LengthSample",
+    "POPULARITY_NAMES",
+    "PoissonArrivals",
+    "RampProfile",
+    "RequestSpec",
+    "ShareGptLengths",
+    "Trace",
+    "TraceSummary",
+    "assign_lora_ids",
+    "constant_rate",
+    "empirical_zipf_alpha",
+    "generate_trace",
+    "popularity_histogram",
+    "summarize_trace",
+    "open_loop_trace",
+    "segment_sizes_for",
+    "zipf_counts",
+]

@@ -1,0 +1,76 @@
+"""Trace analytics: the workload summaries evaluation sections report."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Descriptive statistics of one request trace."""
+
+    num_requests: int
+    num_lora_models: int
+    duration: float
+    mean_prompt_len: float
+    p50_prompt_len: float
+    p99_prompt_len: float
+    mean_response_len: float
+    p50_response_len: float
+    p99_response_len: float
+    total_tokens: int
+    top_model_share: float
+    """Fraction of requests going to the most popular LoRA model."""
+
+    @property
+    def mean_rate(self) -> float:
+        """Mean arrival rate (requests/second); 0 for closed-loop traces."""
+        if self.duration <= 0:
+            return 0.0
+        return self.num_requests / self.duration
+
+
+def summarize_trace(trace: Trace) -> TraceSummary:
+    """Compute a :class:`TraceSummary` for ``trace``."""
+    if len(trace) == 0:
+        raise ValueError("cannot summarize an empty trace")
+    prompts = np.asarray([r.prompt_len for r in trace])
+    responses = np.asarray([r.response_len for r in trace])
+    counts = Counter(r.lora_id for r in trace)
+    return TraceSummary(
+        num_requests=len(trace),
+        num_lora_models=len(counts),
+        duration=trace.duration,
+        mean_prompt_len=float(prompts.mean()),
+        p50_prompt_len=float(np.percentile(prompts, 50)),
+        p99_prompt_len=float(np.percentile(prompts, 99)),
+        mean_response_len=float(responses.mean()),
+        p50_response_len=float(np.percentile(responses, 50)),
+        p99_response_len=float(np.percentile(responses, 99)),
+        total_tokens=int(prompts.sum() + responses.sum()),
+        top_model_share=max(counts.values()) / len(trace),
+    )
+
+
+def popularity_histogram(trace: Trace) -> "list[tuple[str, int]]":
+    """(lora_id, request count) most-popular first — the Zipf curve data."""
+    counts = Counter(r.lora_id for r in trace)
+    return counts.most_common()
+
+
+def empirical_zipf_alpha(trace: Trace) -> float:
+    """Estimate the Zipf decay ratio between successive popularity ranks.
+
+    Geometric-mean ratio of consecutive counts; ~1.5 for the paper's
+    Skewed workload, ~1.0 for Uniform.
+    """
+    counts = [c for _, c in popularity_histogram(trace)]
+    if len(counts) < 2:
+        raise ValueError("need at least two LoRA models to estimate alpha")
+    ratios = [a / b for a, b in zip(counts, counts[1:]) if b > 0]
+    return float(np.exp(np.mean(np.log(ratios))))

@@ -1,0 +1,86 @@
+"""Request arrival processes (paper §7.3).
+
+The cluster experiment drives a Poisson arrival process — exponential
+inter-arrival gaps — whose rate, in the macro view, gradually increases and
+then decreases over the hour. :class:`RampProfile` is that trapezoid/
+triangle rate curve; :class:`PoissonArrivals` samples a concrete arrival
+sequence from any rate profile via thinning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+from repro.utils.validation import check_nonnegative, check_positive
+
+
+def constant_rate(rate: float) -> Callable[[float], float]:
+    """A flat rate profile ``lambda(t) = rate`` (requests/second)."""
+    check_nonnegative("rate", rate)
+    return lambda t: rate
+
+
+@dataclass(frozen=True)
+class RampProfile:
+    """Rate ramps linearly 0 -> peak over the first half, back down over the second.
+
+    With ``hold_fraction > 0`` the peak is held for that fraction of the
+    duration in the middle (trapezoid instead of triangle).
+    """
+
+    duration: float
+    peak_rate: float
+    hold_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("duration", self.duration)
+        check_positive("peak_rate", self.peak_rate)
+        if not 0.0 <= self.hold_fraction < 1.0:
+            raise ValueError(f"hold_fraction must be in [0, 1), got {self.hold_fraction}")
+
+    def __call__(self, t: float) -> float:
+        if t < 0 or t > self.duration:
+            return 0.0
+        ramp = (1.0 - self.hold_fraction) / 2.0 * self.duration
+        if t < ramp:
+            return self.peak_rate * t / ramp
+        if t > self.duration - ramp:
+            return self.peak_rate * (self.duration - t) / ramp
+        return self.peak_rate
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """A (possibly non-homogeneous) Poisson arrival process."""
+
+    rate: Callable[[float], float]
+    duration: float
+
+    def __post_init__(self) -> None:
+        check_positive("duration", self.duration)
+
+    def sample(self, rng: "np.random.Generator | int | None" = None) -> np.ndarray:
+        """Arrival times in ``[0, duration)``, sorted ascending.
+
+        Uses Lewis-Shedler thinning against the profile's maximum rate, so
+        any bounded rate function works.
+        """
+        gen = new_rng(rng)
+        # Upper-bound the rate by probing; profiles here are piecewise linear.
+        probes = np.linspace(0.0, self.duration, 1024)
+        lam_max = max(float(self.rate(t)) for t in probes)
+        if lam_max <= 0:
+            return np.zeros(0, dtype=np.float64)
+        times = []
+        t = 0.0
+        while True:
+            t += gen.exponential(1.0 / lam_max)
+            if t >= self.duration:
+                break
+            if gen.random() < self.rate(t) / lam_max:
+                times.append(t)
+        return np.asarray(times, dtype=np.float64)

@@ -1,0 +1,117 @@
+"""LoRA model popularity distributions (paper §7, "Workloads").
+
+Four request-to-model distributions:
+
+* **Distinct** — every request targets its own LoRA model.
+* **Uniform** — all models equally popular; ``ceil(sqrt(n))`` models for
+  ``n`` requests.
+* **Skewed** — Zipf-alpha popularity: the i-th most popular model receives
+  ``alpha`` times the requests of the (i+1)-th. The paper uses alpha=1.5.
+* **Identical** — every request targets the same model.
+
+Two views are provided: :func:`segment_sizes_for` gives the deterministic
+per-model batch sizes the kernel microbenchmarks (Figs 7-9) use, and
+:func:`assign_lora_ids` draws a per-request assignment for end-to-end
+serving traces.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+POPULARITY_NAMES = ("distinct", "uniform", "skewed", "identical")
+
+
+def _check_distribution(distribution: str) -> None:
+    if distribution not in POPULARITY_NAMES:
+        raise ValueError(
+            f"unknown distribution {distribution!r}; expected one of {POPULARITY_NAMES}"
+        )
+
+
+def zipf_counts(n_requests: int, alpha: float = 1.5) -> list[int]:
+    """Per-model request counts under the paper's Zipf-alpha popularity.
+
+    Geometric decay ``count_i proportional to alpha^-i``, rounded by largest
+    remainder so the counts sum exactly to ``n_requests`` with no zero
+    entries; returned most-popular first.
+    """
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    if alpha <= 1.0:
+        raise ValueError(f"alpha must be > 1 for a skewed distribution, got {alpha}")
+    # Enough ranks that the tail weight is negligible, capped at n_requests.
+    max_models = min(n_requests, max(1, int(math.log(n_requests, alpha)) + 8))
+    weights = np.power(alpha, -np.arange(max_models, dtype=np.float64))
+    shares = weights / weights.sum() * n_requests
+    counts = np.floor(shares).astype(np.int64)
+    remainder = n_requests - int(counts.sum())
+    if remainder > 0:
+        frac_order = np.argsort(-(shares - counts), kind="stable")
+        counts[frac_order[:remainder]] += 1
+    result = [int(c) for c in counts if c > 0]
+    assert sum(result) == n_requests
+    return result
+
+
+def uniform_counts(n_requests: int) -> list[int]:
+    """Even split over ``ceil(sqrt(n))`` models (paper's Uniform rule)."""
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    num_models = math.isqrt(n_requests)
+    if num_models * num_models < n_requests:
+        num_models += 1
+    base, extra = divmod(n_requests, num_models)
+    return [base + (1 if i < extra else 0) for i in range(num_models)]
+
+
+def segment_sizes_for(
+    distribution: str, batch_size: int, alpha: float = 1.5
+) -> list[int]:
+    """Per-model batch sizes for one batched invocation (Figs 7-9).
+
+    Most-popular-first ordering; sizes always sum to ``batch_size``.
+    """
+    _check_distribution(distribution)
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if distribution == "distinct":
+        return [1] * batch_size
+    if distribution == "identical":
+        return [batch_size]
+    if distribution == "uniform":
+        return uniform_counts(batch_size)
+    return zipf_counts(batch_size, alpha)
+
+
+def num_models_for(distribution: str, n_requests: int, alpha: float = 1.5) -> int:
+    """How many distinct LoRA models ``n_requests`` spread over."""
+    return len(segment_sizes_for(distribution, n_requests, alpha))
+
+
+def assign_lora_ids(
+    n_requests: int,
+    distribution: str,
+    rng: "np.random.Generator | int | None" = None,
+    alpha: float = 1.5,
+    model_prefix: str = "lora-",
+    shuffle: bool = True,
+) -> list[str]:
+    """Assign each of ``n_requests`` requests a LoRA model id.
+
+    Model ids are ``f"{model_prefix}{i}"`` with ``i`` the popularity rank.
+    With ``shuffle=True`` (default) the per-request order is randomized, as
+    arrivals interleave in a real trace; with ``shuffle=False`` requests
+    arrive grouped by model (useful for deterministic tests).
+    """
+    counts = segment_sizes_for(distribution, n_requests, alpha)
+    ids = [f"{model_prefix}{i}" for i, c in enumerate(counts) for _ in range(c)]
+    if shuffle:
+        gen = new_rng(rng)
+        perm = gen.permutation(len(ids))
+        ids = [ids[i] for i in perm]
+    return ids

@@ -1,0 +1,44 @@
+"""Tiny-scale smoke tests of the serving figure runners (Figs 11-13).
+
+The full-size versions run under ``pytest benchmarks/``; these keep the
+runners covered by the plain test suite with second-scale budgets.
+"""
+
+import pytest
+
+from repro.baselines.framework import PUNICA, VLLM
+from repro.bench.fig11_textgen import run_fig11
+from repro.bench.fig12_tp70b import run_fig12
+from repro.bench.fig13_cluster import Fig13Scale, run_fig13
+from repro.models.config import LLAMA2_7B
+
+
+class TestFig11Smoke:
+    def test_two_system_tiny_run(self):
+        table = run_fig11(
+            configs=(LLAMA2_7B,), systems=(VLLM, PUNICA), n_requests=12, seed=0
+        )
+        assert len(table.rows) == 4 * 2  # four workloads x two systems
+        tput = {(r[1], r[2]): r[3] for r in table.rows}
+        assert tput[("distinct", "punica")] > tput[("distinct", "vllm")]
+
+    def test_throughputs_positive(self):
+        table = run_fig11(configs=(LLAMA2_7B,), systems=(PUNICA,), n_requests=6)
+        assert all(v > 0 for v in table.column("throughput_tok_s"))
+
+
+class TestFig12Smoke:
+    def test_tiny_run(self):
+        table = run_fig12(n_requests=8, seed=0)
+        assert len(table.rows) == 4 * 2
+        tput = {(r[0], r[1]): r[2] for r in table.rows}
+        assert tput[("distinct", "punica")] > tput[("distinct", "vllm")]
+
+
+class TestFig13Smoke:
+    def test_tiny_scale(self):
+        scale = Fig13Scale(num_gpus=2, duration=30.0, peak_rate=4.0, bucket=10.0)
+        table = run_fig13(scale=scale, seed=0)
+        assert len(table.rows) >= 3
+        assert any(r[2] > 0 for r in table.rows)  # some throughput recorded
+        assert any("finished" in n for n in table.notes)

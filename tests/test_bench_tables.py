@@ -1,0 +1,67 @@
+"""Shape tests for the figure runners (cheap ones; serving figs run in benches).
+
+These guarantee the bench harness keeps producing well-formed tables —
+headers stable, rows covering the full parameter grid — so a refactor
+can't silently drop half a figure.
+"""
+
+import pytest
+
+from repro.bench import run_fig01, run_fig07, run_fig08, run_fig09, run_fig10, run_loader_bench
+from repro.bench.reporting import FigureTable
+
+
+class TestFigureTable:
+    def test_add_row_and_column(self):
+        t = FigureTable("F", "t", headers=["a", "b"])
+        t.add_row(1, 2)
+        t.add_row(3, 4)
+        assert t.column("b") == [2, 4]
+
+    def test_unknown_column(self):
+        t = FigureTable("F", "t", headers=["a"])
+        with pytest.raises(ValueError):
+            t.column("zzz")
+
+    def test_render_contains_notes(self):
+        t = FigureTable("F", "t", headers=["a"])
+        t.add_row(1)
+        t.add_note("hello")
+        assert "note: hello" in t.render()
+
+
+class TestRunnerGrids:
+    def test_fig01_grid(self):
+        t = run_fig01()
+        assert list(t.headers) == ["stage", "seq_len", "batch_size", "latency_ms"]
+        assert len(t.rows) == 2 * 2 * 6  # stages x seq lens x batch sizes
+        assert all(lat > 0 for lat in t.column("latency_ms"))
+
+    def test_fig07_grid(self):
+        t = run_fig07()
+        assert len(t.rows) == 4 * 7  # distributions x batch sizes
+        assert set(t.column("distribution")) == {
+            "distinct", "uniform", "skewed", "identical",
+        }
+
+    def test_fig08_grid(self):
+        t = run_fig08()
+        assert len(t.rows) == 4 * 7
+        for col in ("loop_us", "gather_bmm_us", "sgmv_us"):
+            assert all(v > 0 for v in t.column(col))
+
+    def test_fig09_grid(self):
+        t = run_fig09()
+        assert len(t.rows) == 4 * 4 * 7  # distributions x ranks x batches
+
+    def test_fig10_grid(self):
+        t = run_fig10()
+        assert len(t.rows) == 2 * 2 * 4 * 6  # models x seqs x dists x batches
+
+    def test_loader_table(self):
+        t = run_loader_bench()
+        assert t.column("model") == ["llama2-7b", "llama2-13b", "llama2-70b"]
+
+    def test_custom_batch_sizes_respected(self):
+        t = run_fig01(batch_sizes=(1, 2))
+        assert len(t.rows) == 2 * 2 * 2

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import RUNNERS, build_parser, main
+
+
+class TestParser:
+    def test_all_figures_registered(self):
+        assert set(RUNNERS) == {
+            "fig01", "fig07", "fig08", "fig09", "fig10",
+            "fig11", "fig12", "fig13", "loader",
+        }
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_requests_flag_only_on_serving_figures(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig11", "--requests", "50"])
+        assert args.requests == 50
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig08", "--requests", "50"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out and "Figure 11" in out
+
+    def test_run_cheap_figure(self, capsys):
+        assert main(["fig08"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "sgmv_us" in out
+
+    def test_out_directory(self, tmp_path, capsys):
+        assert main(["loader", "--out", str(tmp_path)]) == 0
+        saved = tmp_path / "loader.txt"
+        assert saved.exists()
+        assert "On-demand LoRA load" in saved.read_text()
+
+    def test_requests_override(self, capsys):
+        assert main(["fig12", "--requests", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "8 requests" in out

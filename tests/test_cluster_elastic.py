@@ -1,0 +1,146 @@
+"""Tests for the elastic GPU pool (§5.1 cloud allocation)."""
+
+import pytest
+
+from repro.cluster.elastic import ElasticClusterSimulator, ElasticConfig, GpuLease
+from repro.cluster.scheduler import SchedulerConfig
+from repro.models.config import LLAMA2_7B
+from repro.runtime.backend import SimulatedBackend
+from repro.runtime.engine import EngineConfig, GpuEngine
+from repro.runtime.request import RequestState
+from repro.workloads.arrivals import PoissonArrivals, RampProfile, constant_rate
+from repro.workloads.lengths import ShareGptLengths
+from repro.workloads.trace import generate_trace
+
+
+def engine_factory(gpu_id):
+    return GpuEngine(
+        gpu_id,
+        SimulatedBackend(LLAMA2_7B, step_overhead=0.0),
+        EngineConfig(max_batch_size=4),
+    )
+
+
+def ramp_trace(duration=90.0, peak=6.0, seed=0):
+    lengths = ShareGptLengths(max_prompt_len=64, max_response_len=32)
+    arrivals = PoissonArrivals(
+        rate=RampProfile(duration=duration, peak_rate=peak), duration=duration
+    )
+    return generate_trace(int(duration * peak) + 32, "skewed", seed=seed,
+                          lengths=lengths, arrivals=arrivals)
+
+
+def make_sim(max_gpus=6, **elastic_kwargs):
+    cfg = ElasticConfig(
+        min_gpus=1, max_gpus=max_gpus, provision_delay=5.0,
+        release_idle_after=10.0, check_interval=2.0, **elastic_kwargs,
+    )
+    return ElasticClusterSimulator(
+        engine_factory, cfg, SchedulerConfig(migration_interval=5.0)
+    )
+
+
+class TestElasticConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ElasticConfig(min_gpus=0)
+        with pytest.raises(ValueError):
+            ElasticConfig(min_gpus=4, max_gpus=2)
+        with pytest.raises(ValueError):
+            ElasticConfig(check_interval=0)
+
+
+class TestGpuLease:
+    def test_open_lease_billed_to_horizon(self):
+        lease = GpuLease(gpu_id="g", start=10.0)
+        assert lease.seconds(horizon=25.0) == 15.0
+
+    def test_closed_lease(self):
+        lease = GpuLease(gpu_id="g", start=10.0, end=18.0)
+        assert lease.seconds(horizon=100.0) == 8.0
+
+
+class TestElasticSimulation:
+    def test_scales_up_under_load_and_releases_after(self):
+        sim = make_sim()
+        result = sim.run_elastic(ramp_trace())
+        assert result.scale_ups > 0
+        assert result.peak_pool_size() > 1
+        assert result.releases > 0  # ramp-down lets GPUs drain and release
+        # All requests still finish.
+        assert all(
+            r.state is RequestState.FINISHED for r in result.base.requests
+        )
+
+    def test_respects_max_gpus(self):
+        sim = make_sim(max_gpus=2)
+        result = sim.run_elastic(ramp_trace(peak=10.0))
+        assert result.peak_pool_size() <= 2
+
+    def test_never_releases_below_min(self):
+        sim = make_sim()
+        result = sim.run_elastic(ramp_trace())
+        # The last lease(s) remain open: at least min_gpus GPUs at the end.
+        open_leases = [l for l in result.leases if l.end is None]
+        assert len(open_leases) >= 1
+
+    def test_elastic_cheaper_than_static_peak_pool(self):
+        trace = ramp_trace(duration=120.0, peak=8.0)
+        elastic = make_sim(max_gpus=6).run_elastic(trace)
+        static_gpu_seconds = 6 * elastic.base.duration
+        assert elastic.gpu_seconds() < 0.8 * static_gpu_seconds
+
+    def test_throughput_not_destroyed_by_elasticity(self):
+        # Compared to a static max-size pool, elasticity may queue requests
+        # during provisioning but must finish the trace in similar time.
+        from repro.cluster.simulator import ClusterSimulator
+
+        trace = ramp_trace(duration=90.0, peak=5.0, seed=3)
+        elastic = make_sim().run_elastic(trace)
+        static = ClusterSimulator(
+            [engine_factory(f"s{i}") for i in range(6)],
+            SchedulerConfig(migration_interval=5.0),
+        ).run(trace)
+        assert elastic.base.finished_requests == static.finished_requests
+        assert elastic.base.duration < 2.0 * static.duration
+
+    def test_deterministic(self):
+        r1 = make_sim().run_elastic(ramp_trace(seed=4))
+        r2 = make_sim().run_elastic(ramp_trace(seed=4))
+        assert r1.gpu_seconds() == r2.gpu_seconds()
+        assert r1.scale_ups == r2.scale_ups
+
+
+class TestSchedulerPoolMembership:
+    def test_add_remove_engine(self):
+        from repro.cluster.scheduler import PunicaScheduler
+
+        e0, e1 = engine_factory("a"), engine_factory("b")
+        sched = PunicaScheduler([e0])
+        sched.add_engine(e1)
+        assert set(sched.engines) == {"a", "b"}
+        sched.remove_engine("b")
+        assert set(sched.engines) == {"a"}
+
+    def test_cannot_remove_busy_or_last(self):
+        from repro.cluster.scheduler import PunicaScheduler
+        from repro.runtime.request import Request
+        from repro.workloads.trace import RequestSpec
+
+        e0, e1 = engine_factory("a"), engine_factory("b")
+        sched = PunicaScheduler([e0, e1])
+        req = Request(spec=RequestSpec("r", "m", 0.0, 8, 4))
+        e1.add_request(req, 0.0)
+        with pytest.raises(RuntimeError):
+            sched.remove_engine("b")
+        sched.remove_engine("a")
+        with pytest.raises(RuntimeError):
+            sched.remove_engine("b")
+
+    def test_duplicate_add_rejected(self):
+        from repro.cluster.scheduler import PunicaScheduler
+
+        e0 = engine_factory("a")
+        sched = PunicaScheduler([e0])
+        with pytest.raises(ValueError):
+            sched.add_engine(engine_factory("a"))

@@ -1,0 +1,56 @@
+"""Additional tests for cluster metrics aggregation."""
+
+import pytest
+
+from repro.cluster.metrics import ClusterMetrics, TimeSeries
+
+
+class TestBucketMean:
+    def test_mean_per_bucket(self):
+        ts = TimeSeries()
+        for t, v in [(0.1, 2.0), (0.2, 4.0), (1.5, 10.0)]:
+            ts.record(t, v)
+        means = ts.bucket_mean(bucket=1.0, duration=2.0)
+        assert means == [(0.0, 3.0), (1.0, 10.0)]
+
+    def test_empty_buckets_zero(self):
+        ts = TimeSeries()
+        ts.record(2.5, 7.0)
+        means = ts.bucket_mean(bucket=1.0, duration=3.0)
+        assert means[0] == (0.0, 0.0)
+        assert means[2] == (2.0, 7.0)
+
+    def test_len(self):
+        ts = TimeSeries()
+        assert len(ts) == 0
+        ts.record(0.0, 1.0)
+        assert len(ts) == 1
+
+
+class TestClusterMetrics:
+    def test_arrival_and_step_recording(self):
+        m = ClusterMetrics()
+        m.record_arrival(0.5)
+        m.record_arrival(1.5)
+        m.record_step("gpu0", 0.6, tokens=4, batch_size=2)
+        m.record_step("gpu1", 1.6, tokens=8, batch_size=4)
+        assert m.total_tokens() == 12
+        rates = m.request_rate_series(bucket=1.0, duration=2.0)
+        assert rates == [(0.0, 1.0), (1.0, 1.0)]
+        tput = m.throughput_series(bucket=1.0, duration=2.0)
+        assert tput == [(0.0, 4.0), (1.0, 8.0)]
+
+    def test_per_gpu_batch_series(self):
+        m = ClusterMetrics()
+        m.record_step("gpu0", 0.1, tokens=1, batch_size=3)
+        m.record_step("gpu0", 0.9, tokens=1, batch_size=5)
+        series = m.batch_size_series("gpu0", bucket=1.0, duration=1.0)
+        assert series == [(0.0, 4.0)]
+
+    def test_unknown_gpu_gives_zeros(self):
+        m = ClusterMetrics()
+        series = m.batch_size_series("ghost", bucket=1.0, duration=2.0)
+        assert all(v == 0.0 for _, v in series)
+
+    def test_empty_total(self):
+        assert ClusterMetrics().total_tokens() == 0.0

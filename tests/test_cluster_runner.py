@@ -1,0 +1,172 @@
+"""Tests for the scheduler<->runner message protocol (§6)."""
+
+import pytest
+
+from repro.cluster.protocol import (
+    AddRequest,
+    CancelAck,
+    CancelRequest,
+    MessageLog,
+    RequestEvicted,
+    RequestFinished,
+    StepStats,
+    TokenChunk,
+)
+from repro.cluster.runner import GpuRunner
+from repro.models.config import LLAMA2_7B
+from repro.runtime.backend import SimulatedBackend
+from repro.runtime.engine import EngineConfig, GpuEngine
+
+
+def make_runner(max_batch=4, kv_capacity=None, log=None):
+    engine = GpuEngine(
+        "gpu0",
+        SimulatedBackend(LLAMA2_7B, kv_capacity_bytes=kv_capacity, step_overhead=0.0),
+        EngineConfig(max_batch_size=max_batch),
+    )
+    return GpuRunner(engine, log=log)
+
+
+def run_until_quiet(runner, now=0.0, limit=500):
+    events = []
+    for _ in range(limit):
+        end = runner.step(now)
+        events.extend(runner.poll_events())
+        if end is None:
+            if runner.engine.is_idle and not runner._inbox:
+                break
+            now += 2e-3
+        else:
+            now = end
+    return events, now
+
+
+class TestProtocolValidation:
+    def test_add_request_validation(self):
+        with pytest.raises(ValueError):
+            AddRequest("r", "m", prompt_len=0, response_len=4)
+
+    def test_token_chunk_nonempty(self):
+        with pytest.raises(ValueError):
+            TokenChunk("r", tokens=(), time=0.0)
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(TypeError):
+            make_runner().post("not a command")
+
+
+class TestRunnerLifecycle:
+    def test_tokens_streamed_exactly_once(self):
+        runner = make_runner()
+        runner.post(AddRequest("r0", "m0", prompt_len=16, response_len=5))
+        events, _ = run_until_quiet(runner)
+        chunks = [e for e in events if isinstance(e, TokenChunk)]
+        streamed = [t for c in chunks if c.request_id == "r0" for t in c.tokens]
+        assert len(streamed) == 5
+        assert streamed == runner.request("r0").generated_tokens
+
+    def test_finish_event_carries_count(self):
+        runner = make_runner()
+        runner.post(AddRequest("r0", "m0", prompt_len=16, response_len=3))
+        events, _ = run_until_quiet(runner)
+        fin = [e for e in events if isinstance(e, RequestFinished)]
+        assert len(fin) == 1
+        assert fin[0].num_generated == 3
+
+    def test_step_stats_emitted_per_invocation(self):
+        runner = make_runner()
+        runner.post(AddRequest("r0", "m0", prompt_len=16, response_len=4))
+        events, _ = run_until_quiet(runner)
+        stats = [e for e in events if isinstance(e, StepStats)]
+        assert len(stats) == 4  # prefill + 3 decode invocations
+        assert all(s.gpu_id == "gpu0" for s in stats)
+        times = [s.start for s in stats]
+        assert times == sorted(times)
+
+    def test_commands_apply_at_step_boundary(self):
+        runner = make_runner()
+        runner.post(AddRequest("r0", "m0", prompt_len=16, response_len=8))
+        assert runner.engine.is_idle  # not yet applied
+        runner.step(0.0)
+        assert not runner.engine.is_idle
+
+    def test_multiple_requests_batch(self):
+        runner = make_runner()
+        for i in range(3):
+            runner.post(AddRequest(f"r{i}", f"m{i}", prompt_len=8, response_len=6))
+        events, _ = run_until_quiet(runner)
+        stats = [e for e in events if isinstance(e, StepStats)]
+        assert max(s.batch_size for s in stats) == 3
+        assert max(s.num_lora_segments for s in stats) >= 3
+
+
+class TestCancellation:
+    def test_cancel_acked_once(self):
+        runner = make_runner()
+        runner.post(AddRequest("r0", "m0", prompt_len=16, response_len=50))
+        run_until_quiet(runner, limit=3)
+        runner.post(CancelRequest("r0"))
+        runner.step(1.0)
+        acks = [e for e in runner.poll_events() if isinstance(e, CancelAck)]
+        assert [a.request_id for a in acks] == ["r0"]
+        assert runner.engine.is_idle
+
+    def test_cancel_with_requeue_keeps_request_object(self):
+        runner = make_runner()
+        runner.post(AddRequest("r0", "m0", prompt_len=16, response_len=50))
+        run_until_quiet(runner, limit=5)
+        generated_before = list(runner.request("r0").generated_tokens)
+        assert generated_before
+        runner.post(CancelRequest("r0", requeue=True))
+        runner.step(1.0)
+        req = runner.request("r0")  # still known: scheduler will re-place it
+        assert req.generated_tokens == generated_before
+
+    def test_migration_between_runners_via_protocol(self):
+        # Full §5.3 flow over the message protocol only.
+        src = make_runner()
+        dst = make_runner()
+        src.post(AddRequest("r0", "m0", prompt_len=16, response_len=10))
+        _, now = run_until_quiet(src, limit=5)
+        prefix = tuple(src.request("r0").generated_tokens)
+        assert prefix
+        src.post(CancelRequest("r0", requeue=True))
+        src.step(now)
+        req = src.request("r0")
+        dst.post(
+            AddRequest(
+                "r0", "m0", prompt_len=req.spec.prompt_len,
+                response_len=req.spec.response_len, generated_prefix=prefix,
+            )
+        )
+        # Hand the same request object over (in-process shortcut): instead,
+        # verify dst rebuilt it from the wire message alone.
+        events, _ = run_until_quiet(dst, now=now)
+        rebuilt = dst.request("r0")
+        assert rebuilt.num_generated == req.spec.response_len
+        assert rebuilt.generated_tokens[: len(prefix)] == list(prefix)
+
+
+class TestEviction:
+    def test_eviction_event_emitted(self):
+        bpt = LLAMA2_7B.kv_bytes_per_token()
+        runner = make_runner(kv_capacity=48 * bpt)
+        runner.post(AddRequest("old", "m0", prompt_len=16, response_len=40))
+        runner.post(AddRequest("new", "m0", prompt_len=16, response_len=40))
+        events, _ = run_until_quiet(runner, limit=120)
+        evictions = [e for e in events if isinstance(e, RequestEvicted)]
+        # Newest evicted first (FCFS); with no scheduler re-placing it,
+        # "old" eventually exhausts the pool alone and self-evicts too.
+        assert evictions
+        assert evictions[0].request_id == "new"
+
+
+class TestMessageLog:
+    def test_log_captures_traffic(self):
+        log = MessageLog()
+        runner = make_runner(log=log)
+        runner.post(AddRequest("r0", "m0", prompt_len=8, response_len=2))
+        run_until_quiet(runner)
+        assert len(log.commands) == 1
+        assert len(log.events_of_type(TokenChunk)) == 2
+        assert len(log.events_of_type(RequestFinished)) == 1

@@ -1,0 +1,169 @@
+"""Tests for the Punica cluster scheduler's routing, queueing and migration."""
+
+import pytest
+
+from repro.cluster.scheduler import PunicaScheduler, SchedulerConfig
+from repro.models.config import LLAMA2_7B
+from repro.runtime.backend import SimulatedBackend
+from repro.runtime.engine import EngineConfig, GpuEngine
+from repro.runtime.request import Request, RequestState
+from repro.workloads.trace import RequestSpec
+
+
+def make_engine(gpu_id, max_batch=4):
+    backend = SimulatedBackend(LLAMA2_7B, step_overhead=0.0)
+    return GpuEngine(gpu_id, backend, EngineConfig(max_batch_size=max_batch))
+
+
+def make_request(rid, lora="m0", prompt=16, response=8, arrival=0.0):
+    return Request(
+        spec=RequestSpec(
+            request_id=rid, lora_id=lora, arrival_time=arrival,
+            prompt_len=prompt, response_len=response,
+        )
+    )
+
+
+def make_scheduler(n_gpus=3, max_batch=4, **cfg):
+    engines = [make_engine(f"gpu{i}", max_batch) for i in range(n_gpus)]
+    return PunicaScheduler(engines, SchedulerConfig(**cfg) if cfg else None)
+
+
+class TestRouting:
+    def test_first_request_goes_to_highest_uuid(self):
+        sched = make_scheduler(3)
+        gpu = sched.submit(make_request("r0"), 0.0)
+        assert gpu == "gpu2"  # all empty -> tie broken by highest UUID
+
+    def test_subsequent_requests_pack_onto_busiest(self):
+        sched = make_scheduler(3)
+        gpus = [sched.submit(make_request(f"r{i}"), 0.0) for i in range(3)]
+        assert gpus == ["gpu2", "gpu2", "gpu2"]  # consolidation, not balance
+
+    def test_overflow_to_next_gpu_when_full(self):
+        sched = make_scheduler(2, max_batch=2)
+        gpus = [sched.submit(make_request(f"r{i}"), 0.0) for i in range(3)]
+        assert gpus == ["gpu1", "gpu1", "gpu0"]
+
+    def test_queue_when_all_full(self):
+        sched = make_scheduler(1, max_batch=1)
+        assert sched.submit(make_request("r0"), 0.0) is not None
+        assert sched.submit(make_request("r1"), 0.0) is None
+        assert sched.queue_depth == 1
+
+    def test_memory_constraint_respected(self):
+        engines = [
+            GpuEngine(
+                "gpu0",
+                SimulatedBackend(
+                    LLAMA2_7B,
+                    kv_capacity_bytes=64 * LLAMA2_7B.kv_bytes_per_token(),
+                ),
+                EngineConfig(max_batch_size=8),
+            )
+        ]
+        sched = PunicaScheduler(engines)
+        assert sched.submit(make_request("big", prompt=100), 0.0) is None
+        assert sched.queue_depth == 1
+
+    def test_duplicate_gpu_ids_rejected(self):
+        with pytest.raises(ValueError):
+            PunicaScheduler([make_engine("g"), make_engine("g")])
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            PunicaScheduler([])
+
+
+class TestQueueDrain:
+    def test_fcfs_drain(self):
+        sched = make_scheduler(1, max_batch=2)
+        sched.submit(make_request("r0", arrival=0.0), 0.0)
+        sched.submit(make_request("r1", arrival=1.0), 1.0)
+        r2 = make_request("r2", arrival=2.0)
+        r3 = make_request("r3", arrival=3.0)
+        sched.submit(r2, 2.0)
+        sched.submit(r3, 3.0)
+        assert sched.queue_depth == 2
+        # Free a slot, drain: r2 (earlier arrival) must be placed first.
+        sched.engines["gpu0"].cancel("r0")
+        placed = sched.drain_queue(4.0)
+        assert placed == ["gpu0"]
+        assert sched.engines["gpu0"].has_request("r2")
+        assert not sched.engines["gpu0"].has_request("r3")
+
+    def test_cancelled_queued_request_skipped(self):
+        sched = make_scheduler(1, max_batch=1)
+        sched.submit(make_request("r0"), 0.0)
+        r1 = make_request("r1", arrival=1.0)
+        sched.submit(r1, 1.0)
+        sched.cancel(r1)
+        sched.engines["gpu0"].cancel("r0")
+        assert sched.drain_queue(2.0) == []
+        assert sched.queue_depth == 0
+
+
+class TestMigration:
+    def test_consolidation_moves_light_gpu_to_busy(self):
+        sched = make_scheduler(2, max_batch=4, migration_interval=5.0)
+        # 3 on gpu1 (busy), then force one onto gpu0 by filling differently.
+        for i in range(3):
+            sched.submit(make_request(f"busy{i}"), 0.0)
+        lone = make_request("lone")
+        sched.engines["gpu0"].add_request(lone, 0.0)
+        assert sched.engines["gpu0"].working_set_size == 1
+        moved = sched.consolidate(1.0)
+        assert moved == 1
+        assert sched.engines["gpu0"].is_idle
+        assert sched.engines["gpu1"].has_request("lone")
+        assert sched.num_migrations == 1
+
+    def test_migrated_request_keeps_progress(self):
+        sched = make_scheduler(2, max_batch=4)
+        for i in range(2):
+            sched.submit(make_request(f"busy{i}"), 0.0)
+        lone = make_request("lone", response=10)
+        engine0 = sched.engines["gpu0"]
+        engine0.add_request(lone, 0.0)
+        ready = engine0.loader.ready_time("m0")
+        engine0.step(ready)
+        engine0.step(ready + 1.0)
+        assert lone.num_generated == 2
+        sched.consolidate(ready + 2.0)
+        assert sched.engines["gpu1"].has_request("lone")
+        assert lone.num_generated == 2
+        assert lone.needs_prefill  # KvCache recomputed on the target (§5.3)
+        assert lone.num_migrations == 1
+
+    def test_no_migration_when_disabled(self):
+        sched = make_scheduler(2, max_batch=4, consolidation=False)
+        sched.engines["gpu0"].add_request(make_request("lone"), 0.0)
+        for i in range(2):
+            sched.submit(make_request(f"busy{i}"), 0.0)
+        assert sched.consolidate(1.0) == 0
+
+    def test_no_migration_to_equally_light_gpu(self):
+        # Moving between equally loaded GPUs would not consolidate anything.
+        sched = make_scheduler(2, max_batch=4)
+        sched.engines["gpu0"].add_request(make_request("a"), 0.0)
+        sched.engines["gpu1"].add_request(make_request("b", lora="m1"), 0.0)
+        assert sched.consolidate(1.0) == 0
+
+
+class TestScalingHint:
+    def test_scale_up_when_no_light_gpu(self):
+        sched = make_scheduler(1, max_batch=2)
+        for i in range(2):
+            sched.submit(make_request(f"r{i}"), 0.0)
+        assert sched.scaling_hint() == "scale-up"
+
+    def test_scale_down_with_idle_gpu(self):
+        sched = make_scheduler(2, max_batch=4)
+        sched.submit(make_request("r0"), 0.0)
+        assert sched.scaling_hint() == "scale-down"
+
+    def test_hold_when_lightly_loaded_but_none_idle(self):
+        sched = make_scheduler(2, max_batch=4)
+        sched.engines["gpu0"].add_request(make_request("a"), 0.0)
+        sched.engines["gpu1"].add_request(make_request("b", lora="m1"), 0.0)
+        assert sched.scaling_hint() == "hold"

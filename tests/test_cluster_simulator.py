@@ -1,0 +1,129 @@
+"""End-to-end cluster simulation tests (the Fig 13 machinery)."""
+
+import pytest
+
+from repro.cluster.metrics import ClusterMetrics, TimeSeries
+from repro.cluster.scheduler import SchedulerConfig
+from repro.cluster.simulator import ClusterSimulator
+from repro.models.config import LLAMA2_7B
+from repro.runtime.backend import SimulatedBackend
+from repro.runtime.engine import EngineConfig, GpuEngine
+from repro.runtime.request import RequestState
+from repro.workloads.arrivals import PoissonArrivals, RampProfile, constant_rate
+from repro.workloads.lengths import ShareGptLengths
+from repro.workloads.trace import generate_trace
+
+
+def make_engines(n, max_batch=8):
+    return [
+        GpuEngine(
+            f"gpu{i:02d}",
+            SimulatedBackend(LLAMA2_7B, step_overhead=0.0),
+            EngineConfig(max_batch_size=max_batch),
+        )
+        for i in range(n)
+    ]
+
+
+def small_trace(n=40, rate=4.0, duration=20.0, seed=0, dist="skewed"):
+    lengths = ShareGptLengths(max_prompt_len=64, max_response_len=32)
+    arrivals = PoissonArrivals(rate=constant_rate(rate), duration=duration)
+    return generate_trace(n * 3, dist, seed=seed, lengths=lengths, arrivals=arrivals)
+
+
+class TestTimeSeries:
+    def test_record_and_bucket(self):
+        ts = TimeSeries()
+        for t, v in [(0.5, 1.0), (1.5, 2.0), (2.5, 4.0)]:
+            ts.record(t, v)
+        buckets = ts.bucket_sum(bucket=1.0, duration=3.0)
+        assert buckets == [(0.0, 1.0), (1.0, 2.0), (2.0, 4.0)]
+
+    def test_out_of_order_rejected(self):
+        ts = TimeSeries()
+        ts.record(2.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(1.0, 1.0)
+
+    def test_value_at(self):
+        ts = TimeSeries()
+        ts.record(1.0, 10.0)
+        ts.record(5.0, 20.0)
+        assert ts.value_at(0.5) == 0.0
+        assert ts.value_at(3.0) == 10.0
+        assert ts.value_at(5.0) == 20.0
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeries().bucket_sum(0.0, 1.0)
+
+
+class TestClusterSimulation:
+    def test_all_requests_complete(self):
+        sim = ClusterSimulator(make_engines(4))
+        trace = small_trace()
+        result = sim.run(trace)
+        assert result.finished_requests == len(trace)
+        assert result.tokens_generated == trace.total_response_tokens
+        assert result.duration > 0
+
+    def test_deterministic_under_seed(self):
+        r1 = ClusterSimulator(make_engines(3)).run(small_trace(seed=5))
+        r2 = ClusterSimulator(make_engines(3)).run(small_trace(seed=5))
+        assert r1.duration == r2.duration
+        assert r1.tokens_generated == r2.tokens_generated
+        assert r1.num_migrations == r2.num_migrations
+
+    def test_consolidation_prefers_few_gpus(self):
+        # At low load, most GPUs should see no work at all.
+        sim = ClusterSimulator(make_engines(8))
+        trace = small_trace(rate=1.0, duration=30.0)
+        result = sim.run(trace)
+        used_gpus = {gid for gid, ts in result.metrics.gpu_batch_size.items() if len(ts)}
+        assert len(used_gpus) <= 4
+
+    def test_migration_count_reported(self):
+        cfg = SchedulerConfig(migration_interval=2.0)
+        sim = ClusterSimulator(make_engines(4, max_batch=4), cfg)
+        result = sim.run(small_trace(rate=6.0, duration=30.0))
+        assert result.num_migrations >= 0  # runs without error; count recorded
+        assert result.finished_requests > 0
+
+    def test_migration_disabled_still_completes(self):
+        cfg = SchedulerConfig(consolidation=False)
+        sim = ClusterSimulator(make_engines(4), cfg)
+        result = sim.run(small_trace())
+        assert result.finished_requests == result.metrics.arrivals.values.__len__()
+
+    def test_throughput_series_has_load(self):
+        sim = ClusterSimulator(make_engines(4))
+        trace = small_trace(rate=6.0, duration=20.0)
+        result = sim.run(trace)
+        series = result.metrics.throughput_series(bucket=5.0, duration=result.duration)
+        assert any(v > 0 for _, v in series)
+
+    def test_ramp_trace_ramps(self):
+        lengths = ShareGptLengths(max_prompt_len=32, max_response_len=16)
+        arrivals = PoissonArrivals(rate=RampProfile(duration=40.0, peak_rate=6.0), duration=40.0)
+        trace = generate_trace(400, "skewed", seed=1, lengths=lengths, arrivals=arrivals)
+        sim = ClusterSimulator(make_engines(4))
+        result = sim.run(trace)
+        rates = result.metrics.request_rate_series(bucket=10.0, duration=40.0)
+        mid = rates[1][1] + rates[2][1]
+        edges = rates[0][1] + rates[3][1]
+        assert mid > edges  # load concentrated mid-experiment
+        assert result.finished_requests == len(trace)
+
+    def test_latency_reasonable_at_low_load(self):
+        sim = ClusterSimulator(make_engines(4))
+        trace = small_trace(rate=2.0, duration=20.0)
+        result = sim.run(trace)
+        # Per-token latency should be tens of ms (decode step scale).
+        assert 0.005 < result.mean_normalized_latency() < 0.5
+
+    def test_saturated_cluster_queues_then_drains(self):
+        sim = ClusterSimulator(make_engines(1, max_batch=2))
+        trace = small_trace(n=10, rate=20.0, duration=3.0)
+        result = sim.run(trace)
+        assert result.finished_requests == len(trace)
+        assert sim.scheduler.num_queued_total > 0

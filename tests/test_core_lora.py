@@ -1,0 +1,129 @@
+"""Tests for LoRA weight containers and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.lora import (
+    LoraLayerWeights,
+    LoraModelWeights,
+    LoraRegistry,
+    TARGET_PROJECTIONS,
+    random_lora_weights,
+)
+
+PROJ_DIMS = {
+    "q": (64, 64),
+    "k": (64, 64),
+    "v": (64, 64),
+    "o": (64, 64),
+    "gate": (64, 172),
+    "up": (64, 172),
+    "down": (172, 64),
+}
+
+
+def make_model(model_id="m0", num_layers=2, rank=4, seed=0):
+    return random_lora_weights(model_id, num_layers, PROJ_DIMS, rank, seed=seed)
+
+
+class TestLoraLayerWeights:
+    def test_shapes_and_rank(self):
+        w = LoraLayerWeights(wa=np.zeros((64, 4)), wb=np.zeros((4, 128)))
+        assert w.rank == 4
+        assert w.h_in == 64
+        assert w.h_out == 128
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="rank"):
+            LoraLayerWeights(wa=np.zeros((64, 4)), wb=np.zeros((8, 128)))
+
+    def test_nbytes_fp16(self):
+        w = LoraLayerWeights(wa=np.zeros((64, 4)), wb=np.zeros((4, 128)))
+        assert w.nbytes == 2 * (64 * 4 + 4 * 128)
+
+    def test_apply_equals_delta(self):
+        rng = np.random.default_rng(0)
+        w = LoraLayerWeights(wa=rng.standard_normal((16, 4)), wb=rng.standard_normal((4, 8)))
+        x = rng.standard_normal((5, 16))
+        np.testing.assert_allclose(w.apply(x), x @ w.delta(), rtol=1e-12)
+
+    def test_delta_has_low_rank(self):
+        w = make_model(rank=3).layers[0]["q"]
+        assert np.linalg.matrix_rank(w.delta()) <= 3
+
+
+class TestLoraModelWeights:
+    def test_random_factory(self):
+        m = make_model(num_layers=3, rank=8)
+        assert m.num_layers == 3
+        assert m.rank == 8
+        assert set(m.layers[0]) == set(TARGET_PROJECTIONS)
+
+    def test_reproducible(self):
+        a, b = make_model(seed=42), make_model(seed=42)
+        np.testing.assert_array_equal(a.layers[0]["q"].wa, b.layers[0]["q"].wa)
+
+    def test_nbytes_is_sum_of_layers(self):
+        m = make_model(num_layers=2)
+        assert m.nbytes == m.layer_nbytes(0) + m.layer_nbytes(1)
+
+    def test_small_relative_to_backbone(self):
+        # LoRA adds ~0.1-1% of the backbone size (paper §2.2).
+        m = make_model(num_layers=2, rank=4)
+        backbone_bytes = 2 * sum(h_in * h_out for h_in, h_out in PROJ_DIMS.values()) * 2
+        assert m.nbytes < 0.35 * backbone_bytes  # toy dims are small; real ratio ~1%
+
+    def test_missing_projection_rejected(self):
+        layer = {p: LoraLayerWeights(np.zeros((4, 2)), np.zeros((2, 4))) for p in ("q", "k")}
+        with pytest.raises(ValueError, match="missing"):
+            LoraModelWeights(model_id="bad", layers=(layer,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LoraModelWeights(model_id="bad", layers=())
+
+
+class TestLoraRegistry:
+    def test_register_get(self):
+        reg = LoraRegistry()
+        m = make_model("tenant-a")
+        reg.register(m)
+        assert reg.get("tenant-a") is m
+        assert "tenant-a" in reg
+        assert len(reg) == 1
+
+    def test_duplicate_rejected(self):
+        reg = LoraRegistry()
+        reg.register(make_model("x"))
+        with pytest.raises(ValueError, match="already"):
+            reg.register(make_model("x", seed=1))
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="unknown"):
+            LoraRegistry().get("nope")
+
+    def test_stack_shapes(self):
+        reg = LoraRegistry()
+        for i in range(3):
+            reg.register(make_model(f"m{i}", seed=i))
+        wa, wb = reg.stack(["m0", "m2"], layer=0, proj="q")
+        assert wa.shape == (2, 64, 4)
+        assert wb.shape == (2, 4, 64)
+
+    def test_stack_preserves_order(self):
+        reg = LoraRegistry()
+        for i in range(2):
+            reg.register(make_model(f"m{i}", seed=i))
+        wa, _ = reg.stack(["m1", "m0"], layer=0, proj="q")
+        np.testing.assert_array_equal(wa[0], reg.get("m1").layers[0]["q"].wa)
+
+    def test_stack_mixed_rank_rejected(self):
+        reg = LoraRegistry()
+        reg.register(make_model("r4", rank=4))
+        reg.register(make_model("r8", rank=8, seed=1))
+        with pytest.raises(ValueError, match="mixed ranks"):
+            reg.stack(["r4", "r8"], layer=0, proj="q")
+
+    def test_stack_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LoraRegistry().stack([], layer=0, proj="q")

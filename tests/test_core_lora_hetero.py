@@ -1,0 +1,91 @@
+"""Tests for heterogeneous-rank LoRA stacking (zero-padded SGMV)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lora import LoraRegistry, random_lora_weights
+from repro.core.ops import add_lora_sgmv
+from repro.core.segments import segments_from_sizes
+from repro.utils.rng import new_rng
+
+PROJ_DIMS = {
+    "q": (32, 32), "k": (32, 32), "v": (32, 32), "o": (32, 32),
+    "gate": (32, 88), "up": (32, 88), "down": (88, 32),
+}
+
+
+def make_registry(ranks):
+    reg = LoraRegistry()
+    for i, r in enumerate(ranks):
+        reg.register(
+            random_lora_weights(f"m{i}", 1, PROJ_DIMS, rank=r, seed=200 + i)
+        )
+    return reg
+
+
+class TestStackPadded:
+    def test_shapes_padded_to_max_rank(self):
+        reg = make_registry([4, 8, 2])
+        wa, wb = reg.stack_padded(["m0", "m1", "m2"], 0, "q")
+        assert wa.shape == (3, 32, 8)
+        assert wb.shape == (3, 8, 32)
+
+    def test_padding_is_exact(self):
+        # Zero-padding must leave each model's A @ B delta unchanged.
+        reg = make_registry([4, 8])
+        wa, wb = reg.stack_padded(["m0", "m1"], 0, "q")
+        for i, mid in enumerate(["m0", "m1"]):
+            original = reg.get(mid).layers[0]["q"].delta()
+            np.testing.assert_allclose(wa[i] @ wb[i], original, rtol=1e-12)
+
+    def test_sgmv_with_mixed_ranks_matches_per_model(self):
+        reg = make_registry([2, 8, 4])
+        ids = ["m0", "m1", "m2"]
+        seg = segments_from_sizes([2, 1, 3])
+        rng = new_rng(0)
+        x = rng.standard_normal((6, 32))
+        wa, wb = reg.stack_padded(ids, 0, "q")
+        y = np.zeros((6, 32))
+        add_lora_sgmv(y, x, wa, wb, seg)
+        for i, mid in enumerate(ids):
+            lo, hi = int(seg[i]), int(seg[i + 1])
+            expected = x[lo:hi] @ reg.get(mid).layers[0]["q"].delta()
+            np.testing.assert_allclose(y[lo:hi], expected, rtol=1e-5, atol=1e-9)
+
+    def test_uniform_ranks_equal_strict_stack(self):
+        reg = make_registry([4, 4])
+        wa_p, wb_p = reg.stack_padded(["m0", "m1"], 0, "gate")
+        wa_s, wb_s = reg.stack(["m0", "m1"], 0, "gate")
+        np.testing.assert_array_equal(wa_p, wa_s)
+        np.testing.assert_array_equal(wb_p, wb_s)
+
+    def test_strict_stack_still_rejects_mixed(self):
+        reg = make_registry([4, 8])
+        with pytest.raises(ValueError, match="stack_padded"):
+            reg.stack(["m0", "m1"], 0, "q")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_registry([4]).stack_padded([], 0, "q")
+
+    @given(
+        st.lists(st.sampled_from([1, 2, 4, 8]), min_size=1, max_size=5),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_padded_equivalence_property(self, ranks, seed):
+        reg = make_registry(ranks)
+        ids = [f"m{i}" for i in range(len(ranks))]
+        sizes = [1 + (seed + i) % 3 for i in range(len(ranks))]
+        seg = segments_from_sizes(sizes)
+        rng = new_rng(seed)
+        x = rng.standard_normal((int(seg[-1]), 32))
+        wa, wb = reg.stack_padded(ids, 0, "o")
+        y = np.zeros((x.shape[0], 32))
+        add_lora_sgmv(y, x, wa, wb, seg)
+        for i, mid in enumerate(ids):
+            lo, hi = int(seg[i]), int(seg[i + 1])
+            expected = x[lo:hi] @ reg.get(mid).layers[0]["o"].delta()
+            np.testing.assert_allclose(y[lo:hi], expected, rtol=1e-5, atol=1e-9)

@@ -1,0 +1,103 @@
+"""Tests that Loop, Gather-BMM and SGMV LoRA operators agree numerically."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ops import (
+    add_lora_gather_bmm,
+    add_lora_loop,
+    add_lora_sgmv,
+    gather_weights,
+)
+from repro.core.segments import segments_from_sizes
+from repro.utils.rng import new_rng
+
+ALL_OPS = [add_lora_loop, add_lora_gather_bmm, add_lora_sgmv]
+
+
+def make_problem(sizes, h_in=24, h_out=20, rank=4, seed=0):
+    rng = new_rng(seed)
+    seg = segments_from_sizes(sizes)
+    bs, n = int(seg[-1]), len(sizes)
+    x = rng.standard_normal((bs, h_in))
+    wa = rng.standard_normal((n, h_in, rank))
+    wb = rng.standard_normal((n, rank, h_out))
+    y0 = rng.standard_normal((bs, h_out))
+    return seg, x, wa, wb, y0
+
+
+class TestOperatorEquivalence:
+    @pytest.mark.parametrize("op", ALL_OPS)
+    def test_matches_direct_computation(self, op):
+        seg, x, wa, wb, y0 = make_problem([2, 3, 1])
+        y = op(y0.copy(), x, wa, wb, seg)
+        expected = y0.copy()
+        for i in range(3):
+            lo, hi = int(seg[i]), int(seg[i + 1])
+            expected[lo:hi] += x[lo:hi] @ wa[i] @ wb[i]
+        np.testing.assert_allclose(y, expected, rtol=1e-10)
+
+    def test_three_implementations_agree(self):
+        seg, x, wa, wb, y0 = make_problem([1, 1, 4, 2], seed=3)
+        results = [op(y0.copy(), x, wa, wb, seg) for op in ALL_OPS]
+        np.testing.assert_allclose(results[0], results[1], rtol=1e-10)
+        np.testing.assert_allclose(results[0], results[2], rtol=1e-10)
+
+    @given(
+        st.lists(st.integers(1, 5), min_size=1, max_size=6),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_agreement_property(self, sizes, seed):
+        seg, x, wa, wb, y0 = make_problem(sizes, seed=seed)
+        loop = add_lora_loop(y0.copy(), x, wa, wb, seg)
+        gbmm = add_lora_gather_bmm(y0.copy(), x, wa, wb, seg)
+        sgmv = add_lora_sgmv(y0.copy(), x, wa, wb, seg)
+        np.testing.assert_allclose(loop, gbmm, rtol=1e-9, atol=1e-11)
+        np.testing.assert_allclose(loop, sgmv, rtol=1e-9, atol=1e-11)
+
+    def test_merged_weight_equivalence(self):
+        # x @ (W + A B) == x @ W + sgmv addon — the core LoRA identity.
+        rng = new_rng(5)
+        seg, x, wa, wb, _ = make_problem([4], h_in=16, h_out=16)
+        w = rng.standard_normal((16, 16))
+        merged = x @ (w + wa[0] @ wb[0])
+        y = x @ w
+        add_lora_sgmv(y, x, wa, wb, seg)
+        np.testing.assert_allclose(y, merged, rtol=1e-10)
+
+
+class TestGatherWeights:
+    def test_repeats_per_token(self):
+        seg = segments_from_sizes([2, 1])
+        w = np.arange(2 * 3 * 4).reshape(2, 3, 4).astype(float)
+        stacked = gather_weights(w, seg)
+        assert stacked.shape == (3, 3, 4)
+        np.testing.assert_array_equal(stacked[0], w[0])
+        np.testing.assert_array_equal(stacked[1], w[0])
+        np.testing.assert_array_equal(stacked[2], w[1])
+
+    def test_extra_memory_exactly_sn_tiles(self):
+        # The baseline's cost: s_n stacked tiles vs n originals.
+        seg = segments_from_sizes([8, 8])
+        w = np.zeros((2, 4, 4))
+        assert gather_weights(w, seg).shape[0] == 16
+
+
+class TestValidation:
+    def test_weight_count_mismatch(self):
+        seg, x, wa, wb, y0 = make_problem([2, 2])
+        with pytest.raises(ValueError, match="models"):
+            add_lora_sgmv(y0, x, wa[:1], wb[:1], seg)
+
+    def test_rank_mismatch(self):
+        seg, x, wa, wb, y0 = make_problem([2, 2])
+        with pytest.raises(ValueError, match="rank"):
+            add_lora_sgmv(y0, x, wa, wb[:, :2, :], seg)
+
+    def test_output_shape_mismatch(self):
+        seg, x, wa, wb, y0 = make_problem([2, 2])
+        with pytest.raises(ValueError, match="y shape"):
+            add_lora_sgmv(y0[:, :-1], x, wa, wb, seg)

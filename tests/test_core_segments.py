@@ -1,0 +1,111 @@
+"""Tests for segment-index arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.segments import (
+    group_requests_by_lora,
+    segment_sizes,
+    segments_from_lora_ids,
+    segments_from_sizes,
+    validate_segments,
+)
+
+sizes_strategy = st.lists(st.integers(min_value=1, max_value=16), min_size=1, max_size=32)
+
+
+class TestSegmentsFromSizes:
+    def test_basic(self):
+        assert segments_from_sizes([2, 1, 3]).tolist() == [0, 2, 3, 6]
+
+    def test_single(self):
+        assert segments_from_sizes([5]).tolist() == [0, 5]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            segments_from_sizes([])
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            segments_from_sizes([1, 0, 2])
+
+    @given(sizes_strategy)
+    def test_roundtrip_property(self, sizes):
+        seg = segments_from_sizes(sizes)
+        assert segment_sizes(seg).tolist() == sizes
+
+    @given(sizes_strategy)
+    def test_valid_property(self, sizes):
+        seg = segments_from_sizes(sizes)
+        validate_segments(seg, batch_size=sum(sizes))
+
+
+class TestValidateSegments:
+    def test_nonzero_start_rejected(self):
+        with pytest.raises(ValueError, match="start at 0"):
+            validate_segments(np.array([1, 2]))
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            validate_segments(np.array([0, 2, 2]))
+
+    def test_batch_size_mismatch(self):
+        with pytest.raises(ValueError, match="cover"):
+            validate_segments(np.array([0, 3]), batch_size=4)
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            validate_segments(np.array([0]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            validate_segments(np.array([[0, 1]]))
+
+
+class TestSegmentsFromLoraIds:
+    def test_runs(self):
+        seg, ids = segments_from_lora_ids(["a", "a", "b", "a"])
+        assert seg.tolist() == [0, 2, 3, 4]
+        assert ids == ["a", "b", "a"]
+
+    def test_all_same(self):
+        seg, ids = segments_from_lora_ids(["x"] * 5)
+        assert seg.tolist() == [0, 5]
+        assert ids == ["x"]
+
+    def test_all_distinct(self):
+        seg, ids = segments_from_lora_ids(list("abcd"))
+        assert seg.tolist() == [0, 1, 2, 3, 4]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            segments_from_lora_ids([])
+
+
+class TestGroupRequestsByLora:
+    def test_grouping(self):
+        perm = group_requests_by_lora(["b", "a", "b", "a"])
+        assert perm.tolist() == [0, 2, 1, 3]
+
+    def test_stability_within_model(self):
+        # FCFS order within each model must be preserved.
+        ids = ["m1", "m2", "m1", "m2", "m1"]
+        perm = group_requests_by_lora(ids)
+        grouped = [ids[i] for i in perm]
+        assert grouped == ["m1", "m1", "m1", "m2", "m2"]
+        m1_positions = [i for i in perm if ids[i] == "m1"]
+        assert m1_positions == sorted(m1_positions)
+
+    def test_empty(self):
+        assert group_requests_by_lora([]).size == 0
+
+    @given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=40))
+    def test_permutation_property(self, ids):
+        perm = group_requests_by_lora(ids)
+        assert sorted(perm.tolist()) == list(range(len(ids)))
+        grouped = [ids[i] for i in perm]
+        # After grouping, each id forms exactly one contiguous run.
+        seg, run_ids = segments_from_lora_ids(grouped)
+        assert len(run_ids) == len(set(ids))

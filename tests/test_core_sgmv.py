@@ -1,0 +1,138 @@
+"""Tests for the SGMV operators: numpy implementation vs gold-standard reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.segments import segments_from_sizes
+from repro.core.sgmv import (
+    sgmv_expand,
+    sgmv_expand_reference,
+    sgmv_shrink,
+    sgmv_shrink_reference,
+)
+from repro.utils.rng import new_rng
+
+
+def make_case(sizes, h_in=32, rank=4, seed=0):
+    rng = new_rng(seed)
+    seg = segments_from_sizes(sizes)
+    bs = int(seg[-1])
+    n = len(sizes)
+    x = rng.standard_normal((bs, h_in))
+    wa = rng.standard_normal((n, h_in, rank))
+    return seg, x, wa
+
+
+class TestSgmvShrink:
+    def test_matches_reference(self):
+        seg, x, wa = make_case([2, 3, 1])
+        v1 = np.zeros((x.shape[0], wa.shape[2]))
+        v2 = np.zeros_like(v1)
+        sgmv_shrink(v1, x, wa, seg)
+        sgmv_shrink_reference(v2, x, wa, seg)
+        np.testing.assert_allclose(v1, v2, rtol=1e-12)
+
+    def test_accumulates_not_overwrites(self):
+        seg, x, wa = make_case([2, 2])
+        v = np.ones((4, wa.shape[2]))
+        expected = 1.0 + np.vstack([x[:2] @ wa[0], x[2:] @ wa[1]])
+        sgmv_shrink(v, x, wa, seg)
+        np.testing.assert_allclose(v, expected, rtol=1e-12)
+
+    def test_segment_isolation(self):
+        # Changing one model's weights must not affect other segments.
+        seg, x, wa = make_case([2, 2])
+        v_base = sgmv_shrink(np.zeros((4, 4)), x, wa.copy(), seg)
+        wa2 = wa.copy()
+        wa2[1] *= 5.0
+        v_mod = sgmv_shrink(np.zeros((4, 4)), x, wa2, seg)
+        np.testing.assert_array_equal(v_base[:2], v_mod[:2])
+        assert not np.allclose(v_base[2:], v_mod[2:])
+
+    def test_returns_same_array(self):
+        seg, x, wa = make_case([1, 1])
+        v = np.zeros((2, 4))
+        assert sgmv_shrink(v, x, wa, seg) is v
+
+    def test_shape_errors(self):
+        seg, x, wa = make_case([2, 2])
+        with pytest.raises(ValueError, match="models"):
+            sgmv_shrink(np.zeros((4, 4)), x, wa[:1], seg)
+        with pytest.raises(ValueError, match="feature"):
+            sgmv_shrink(np.zeros((4, 4)), x[:, :8], wa, seg)
+        with pytest.raises(ValueError, match="output shape"):
+            sgmv_shrink(np.zeros((4, 5)), x, wa, seg)
+
+
+class TestSgmvExpand:
+    def test_matches_reference(self):
+        rng = new_rng(1)
+        seg = segments_from_sizes([1, 4, 2])
+        v = rng.standard_normal((7, 4))
+        wb = rng.standard_normal((3, 4, 32))
+        y1 = np.zeros((7, 32))
+        y2 = np.zeros_like(y1)
+        sgmv_expand(y1, v, wb, seg)
+        sgmv_expand_reference(y2, v, wb, seg)
+        np.testing.assert_allclose(y1, y2, rtol=1e-12)
+
+    def test_accumulates_into_backbone_output(self):
+        rng = new_rng(2)
+        seg = segments_from_sizes([3])
+        v = rng.standard_normal((3, 4))
+        wb = rng.standard_normal((1, 4, 16))
+        backbone = rng.standard_normal((3, 16))
+        y = backbone.copy()
+        sgmv_expand(y, v, wb, seg)
+        np.testing.assert_allclose(y, backbone + v @ wb[0], rtol=1e-12)
+
+
+@st.composite
+def sgmv_problem(draw):
+    sizes = draw(st.lists(st.integers(1, 6), min_size=1, max_size=8))
+    h_in = draw(st.integers(1, 24))
+    rank = draw(st.integers(1, 8))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return sizes, h_in, rank, seed
+
+
+class TestSgmvProperties:
+    @given(sgmv_problem())
+    @settings(max_examples=60, deadline=None)
+    def test_shrink_equals_reference(self, problem):
+        sizes, h_in, rank, seed = problem
+        seg, x, wa = make_case(sizes, h_in=h_in, rank=rank, seed=seed)
+        v1 = np.zeros((x.shape[0], rank))
+        v2 = np.zeros_like(v1)
+        sgmv_shrink(v1, x, wa, seg)
+        sgmv_shrink_reference(v2, x, wa, seg)
+        np.testing.assert_allclose(v1, v2, rtol=1e-10, atol=1e-12)
+
+    @given(sgmv_problem())
+    @settings(max_examples=60, deadline=None)
+    def test_expand_equals_reference(self, problem):
+        sizes, h_in, rank, seed = problem
+        rng = new_rng(seed)
+        seg = segments_from_sizes(sizes)
+        bs, n = int(seg[-1]), len(sizes)
+        v = rng.standard_normal((bs, rank))
+        wb = rng.standard_normal((n, rank, h_in))
+        y1 = np.zeros((bs, h_in))
+        y2 = np.zeros_like(y1)
+        sgmv_expand(y1, v, wb, seg)
+        sgmv_expand_reference(y2, v, wb, seg)
+        np.testing.assert_allclose(y1, y2, rtol=1e-10, atol=1e-12)
+
+    @given(sgmv_problem())
+    @settings(max_examples=40, deadline=None)
+    def test_shrink_equals_per_segment_matmul(self, problem):
+        sizes, h_in, rank, seed = problem
+        seg, x, wa = make_case(sizes, h_in=h_in, rank=rank, seed=seed)
+        v = np.zeros((x.shape[0], rank))
+        sgmv_shrink(v, x, wa, seg)
+        expected = np.vstack(
+            [x[int(seg[i]) : int(seg[i + 1])] @ wa[i] for i in range(len(sizes))]
+        )
+        np.testing.assert_allclose(v, expected, rtol=1e-10, atol=1e-12)

@@ -1,0 +1,21 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.segments
+import repro.utils.tables
+import repro.utils.units
+
+DOCTEST_MODULES = [
+    repro.core.segments,
+    repro.utils.units,
+]
+
+
+@pytest.mark.parametrize("module", DOCTEST_MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, attempted = doctest.testmod(module).failed, doctest.testmod(module).attempted
+    assert attempted > 0, f"{module.__name__} has no doctests"
+    assert failures == 0

@@ -1,0 +1,40 @@
+"""Tests for the NvSwitch all-reduce cost model (tensor parallelism)."""
+
+import pytest
+
+from repro.hw.interconnect import NVLINK_A100, InterconnectSpec
+
+
+class TestAllreduce:
+    def test_single_gpu_free(self):
+        assert NVLINK_A100.allreduce_time(1e9, 1) == 0.0
+
+    def test_zero_bytes_free(self):
+        assert NVLINK_A100.allreduce_time(0, 8) == 0.0
+
+    def test_ring_scaling(self):
+        # 2*(k-1)/k * n / bw: going 2 -> 8 GPUs increases wire time by 7/4.
+        t2 = NVLINK_A100.allreduce_time(1e9, 2) - NVLINK_A100.latency
+        t8 = NVLINK_A100.allreduce_time(1e9, 8) - NVLINK_A100.latency
+        assert t8 / t2 == pytest.approx((2 * 7 / 8) / (2 * 1 / 2), rel=1e-6)
+
+    def test_latency_floor(self):
+        assert NVLINK_A100.allreduce_time(1, 8) >= NVLINK_A100.latency
+
+    def test_invalid_world_size(self):
+        with pytest.raises(ValueError):
+            NVLINK_A100.allreduce_time(1.0, 0)
+
+
+class TestAllgather:
+    def test_cheaper_than_allreduce(self):
+        assert NVLINK_A100.allgather_time(1e9, 8) < NVLINK_A100.allreduce_time(1e9, 8)
+
+    def test_single_gpu_free(self):
+        assert NVLINK_A100.allgather_time(1e9, 1) == 0.0
+
+
+class TestSpecValidation:
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            InterconnectSpec(name="bad", bus_bandwidth=0)

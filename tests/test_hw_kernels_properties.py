@@ -1,0 +1,131 @@
+"""Hypothesis property tests of the kernel cost model.
+
+The analytical model backs every figure, so its basic sanity — positivity,
+monotonicity in work, superadditivity of splits — is property-tested here
+rather than trusted.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.kernels import KernelCostModel, SgmvWorkload
+from repro.hw.spec import A100_40G, A100_80G
+from repro.models.config import LLAMA2_7B
+from repro.models.perf import decode_step_workload, model_step_latency
+
+kcm = KernelCostModel(A100_80G)
+
+dims = st.integers(1, 8192)
+small = st.integers(1, 64)
+
+
+class TestGemmProperties:
+    @given(m=small, n=dims, k=dims)
+    @settings(max_examples=60, deadline=None)
+    def test_positive(self, m, n, k):
+        assert kcm.gemm(m, n, k) > 0
+
+    @given(m=small, n=dims, k=dims)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_every_dim(self, m, n, k):
+        base = kcm.gemm(m, n, k)
+        assert kcm.gemm(m + 1, n, k) >= base
+        assert kcm.gemm(m, n + 1, k) >= base
+        assert kcm.gemm(m, n, k + 1) >= base
+
+    @given(m=small, n=dims, k=dims)
+    @settings(max_examples=40, deadline=None)
+    def test_fusion_beats_two_launches(self, m, n, k):
+        # One (m, n, 2k) GEMM is never slower than two (m, n, k) GEMMs:
+        # splitting pays a second launch for the same total work.
+        assert kcm.gemm(m, n, 2 * k) <= 2 * kcm.gemm(m, n, k)
+
+
+@st.composite
+def sgmv_workloads(draw):
+    n = draw(st.integers(1, 12))
+    segs = tuple(draw(st.integers(1, 8)) for _ in range(n))
+    h_in = draw(st.sampled_from([16, 128, 4096]))
+    h_out = draw(st.sampled_from([16, 128, 4096]))
+    return SgmvWorkload(segments=segs, h_in=h_in, h_out=h_out)
+
+
+class TestSgmvProperties:
+    @given(sgmv_workloads(), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_positive_and_standalone_never_cheaper(self, work, standalone):
+        t = kcm.sgmv(work, standalone=standalone)
+        assert t > 0
+        assert kcm.sgmv(work, standalone=True) >= kcm.sgmv(work, standalone=False)
+
+    @given(sgmv_workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_adding_a_model_never_cheaper(self, work):
+        bigger = SgmvWorkload(
+            segments=work.segments + (1,), h_in=work.h_in, h_out=work.h_out
+        )
+        assert kcm.sgmv(bigger) >= kcm.sgmv(work) * 0.999
+
+    @given(st.integers(1, 64), st.sampled_from([8, 16, 32, 64]))
+    @settings(max_examples=40, deadline=None)
+    def test_lora_addon_monotone_in_rank(self, bs, rank):
+        segs = [1] * bs
+        assert kcm.lora_addon(segs, 4096, 4096, rank * 2) >= kcm.lora_addon(
+            segs, 4096, 4096, rank
+        )
+
+    @given(st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_weight_sharing_never_hurts(self, bs):
+        # One shared model is never slower than bs distinct models.
+        shared = kcm.lora_addon([bs], 4096, 4096, 16)
+        distinct = kcm.lora_addon([1] * bs, 4096, 4096, 16)
+        assert shared <= distinct * 1.001
+
+
+class TestAttentionProperties:
+    @given(st.lists(st.integers(0, 4096), min_size=1, max_size=32))
+    @settings(max_examples=40, deadline=None)
+    def test_decode_monotone_in_history(self, kv_lens):
+        base = kcm.attention_decode(kv_lens, 32, 128)
+        longer = kcm.attention_decode([l + 64 for l in kv_lens], 32, 128)
+        assert longer >= base
+
+    @given(st.integers(1, 4096))
+    @settings(max_examples=40, deadline=None)
+    def test_prefill_flash_never_slower(self, seq):
+        assert kcm.attention_prefill(seq, 32, 128, flash=True) <= kcm.attention_prefill(
+            seq, 32, 128, flash=False
+        )
+
+
+class TestStepLatencyProperties:
+    @given(st.integers(1, 32), st.integers(1, 2048))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_batch_and_history(self, bs, kv):
+        t = model_step_latency(LLAMA2_7B, kcm, decode_step_workload([kv] * bs))
+        t_more = model_step_latency(
+            LLAMA2_7B, kcm, decode_step_workload([kv] * (bs + 1))
+        )
+        t_longer = model_step_latency(
+            LLAMA2_7B, kcm, decode_step_workload([kv + 128] * bs)
+        )
+        assert t_more >= t
+        assert t_longer >= t
+
+    @given(st.integers(1, 16), st.integers(64, 1024))
+    @settings(max_examples=20, deadline=None)
+    def test_slower_memory_means_slower_steps(self, bs, kv):
+        fast = model_step_latency(
+            LLAMA2_7B, KernelCostModel(A100_80G), decode_step_workload([kv] * bs)
+        )
+        slow = model_step_latency(
+            LLAMA2_7B, KernelCostModel(A100_40G), decode_step_workload([kv] * bs)
+        )
+        assert slow >= fast  # A100-40G has lower HBM bandwidth
+
+    def test_throughput_per_token_improves_with_batching(self):
+        t1 = model_step_latency(LLAMA2_7B, kcm, decode_step_workload([512]))
+        t32 = model_step_latency(LLAMA2_7B, kcm, decode_step_workload([512] * 32))
+        assert t32 / 32 < t1 / 2  # per-token cost at bs32 far below bs1

@@ -1,0 +1,53 @@
+"""Tests for the PCIe transfer model (on-demand LoRA loading, §5.2)."""
+
+import pytest
+
+from repro.hw.pcie import PCIE_GEN4_X16, PcieSpec, TransferPlan, plan_transfer
+from repro.utils.units import MB, MS, US
+
+
+class TestPcieSpec:
+    def test_layer_load_around_50us(self):
+        # Paper §5.2: ~50us per layer on PCIe Gen4 x16. A 7B layer's LoRA
+        # (rank 16, 7 projections) is ~1.2 MB.
+        t = PCIE_GEN4_X16.transfer_time(1.2 * MB)
+        assert 30 * US < t < 80 * US
+
+    def test_full_model_load_around_2ms(self):
+        # Paper §5.2: ~2ms for the whole model (~40 MB of LoRA weights).
+        t = PCIE_GEN4_X16.transfer_time(40 * MB)
+        assert 1 * MS < t < 3 * MS
+
+    def test_zero_bytes_free(self):
+        assert PCIE_GEN4_X16.transfer_time(0) == 0.0
+
+    def test_latency_floor(self):
+        assert PCIE_GEN4_X16.transfer_time(1) >= PCIE_GEN4_X16.latency
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            PcieSpec(name="bad", effective_bandwidth=0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            PCIE_GEN4_X16.transfer_time(-1)
+
+
+class TestTransferPlan:
+    def test_plan_schedule(self):
+        plan = plan_transfer(PCIE_GEN4_X16, 40 * MB, start=10.0)
+        assert plan.start == 10.0
+        assert plan.finish == pytest.approx(10.0 + PCIE_GEN4_X16.transfer_time(40 * MB))
+
+    def test_done_by(self):
+        plan = plan_transfer(PCIE_GEN4_X16, 40 * MB, start=0.0)
+        assert not plan.done_by(plan.finish - 1e-9)
+        assert plan.done_by(plan.finish)
+
+    def test_duration(self):
+        plan = TransferPlan(nbytes=10.0, start=1.0, finish=2.0)
+        assert plan.duration == 1.0
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            TransferPlan(nbytes=1.0, start=2.0, finish=1.0)

@@ -1,0 +1,71 @@
+"""Tests for the roofline model helpers."""
+
+import pytest
+
+from repro.hw.roofline import (
+    RooflinePoint,
+    ridge_point,
+    roofline_bound,
+    roofline_latency,
+    roofline_series,
+)
+from repro.hw.spec import A100_80G
+
+
+class TestRooflineBound:
+    def test_memory_bound_region(self):
+        # Below the ridge, attainable = intensity * bandwidth.
+        x = 1.0
+        assert roofline_bound(A100_80G, x) == pytest.approx(x * A100_80G.hbm_bandwidth)
+
+    def test_compute_bound_region(self):
+        x = 10_000.0
+        assert roofline_bound(A100_80G, x) == A100_80G.peak_fp16_flops
+
+    def test_ridge_continuity(self):
+        r = ridge_point(A100_80G)
+        assert roofline_bound(A100_80G, r) == pytest.approx(A100_80G.peak_fp16_flops)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            roofline_bound(A100_80G, -1.0)
+
+
+class TestRooflineLatency:
+    def test_memory_bound_kernel(self):
+        # 1 MB moved, negligible flops.
+        t = roofline_latency(A100_80G, flop=1.0, io_bytes=1e6)
+        assert t == pytest.approx(1e6 / A100_80G.hbm_bandwidth)
+
+    def test_compute_bound_kernel(self):
+        t = roofline_latency(A100_80G, flop=1e12, io_bytes=1.0)
+        assert t == pytest.approx(1e12 / A100_80G.peak_fp16_flops)
+
+    def test_zero_zero(self):
+        assert roofline_latency(A100_80G, 0.0, 0.0) == 0.0
+
+
+class TestRooflinePoint:
+    def test_derived_quantities(self):
+        p = RooflinePoint(label="sgmv", flop=2e9, io_bytes=1e6, latency=1e-4)
+        assert p.arithmetic_intensity == pytest.approx(2000.0)
+        assert p.achieved_flops == pytest.approx(2e13)
+
+    def test_achieved_below_roof_when_latency_above_ideal(self):
+        flop, io = 2e9, 1e6
+        ideal = roofline_latency(A100_80G, flop, io)
+        p = RooflinePoint(label="k", flop=flop, io_bytes=io, latency=ideal * 2)
+        assert p.achieved_flops <= roofline_bound(A100_80G, p.arithmetic_intensity)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            RooflinePoint(label="bad", flop=1.0, io_bytes=1.0, latency=0.0)
+
+
+class TestRooflineSeries:
+    def test_series_shape_and_monotonicity(self):
+        xs = [0.1, 1.0, 10.0, 100.0, 1000.0]
+        series = roofline_series(A100_80G, xs)
+        assert [x for x, _ in series] == xs
+        ys = [y for _, y in series]
+        assert ys == sorted(ys)

@@ -1,0 +1,57 @@
+"""Tests for GPU device specs and calibration constants."""
+
+import pytest
+
+from repro.hw.spec import A100_40G, A100_80G, FP16_BYTES, GemvBandwidthModel, GpuSpec
+from repro.utils.units import GB, GIB, TB, US
+
+
+class TestGpuSpec:
+    def test_a100_80g_headline_numbers(self):
+        assert A100_80G.peak_fp16_flops == pytest.approx(312 * TB)
+        assert A100_80G.hbm_bandwidth == pytest.approx(1935 * GB)
+        assert A100_80G.hbm_capacity == 80 * GIB
+
+    def test_a100_40g_bandwidth_lower(self):
+        assert A100_40G.hbm_bandwidth < A100_80G.hbm_bandwidth
+        assert A100_40G.hbm_capacity == 40 * GIB
+
+    def test_layernorm_calibration(self):
+        # Paper §6: fusing LayerNorm reduces 110us to 4us.
+        assert A100_80G.fused_layernorm_latency == pytest.approx(4 * US)
+        assert A100_80G.unfused_layernorm_latency == pytest.approx(110 * US)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            GpuSpec(name="bad", peak_fp16_flops=0, hbm_bandwidth=1, hbm_capacity=1)
+
+    def test_with_overrides(self):
+        slow = A100_80G.with_overrides(hbm_bandwidth=1000 * GB)
+        assert slow.hbm_bandwidth == 1000 * GB
+        assert slow.peak_fp16_flops == A100_80G.peak_fp16_flops
+        # Original untouched (frozen dataclass copy).
+        assert A100_80G.hbm_bandwidth == 1935 * GB
+
+    def test_fp16_bytes(self):
+        assert FP16_BYTES == 2
+
+
+class TestGemvBandwidthModel:
+    def test_monotone_in_rank(self):
+        m = GemvBandwidthModel()
+        bws = [m.achieved(r) for r in (8, 16, 32, 64)]
+        assert bws == sorted(bws)
+
+    def test_saturates_below_max(self):
+        m = GemvBandwidthModel()
+        assert m.achieved(4096) < m.bw_max
+
+    def test_fig9_fit_points(self):
+        # DESIGN.md §5: saturating fit — half speed at rank 8, near-max by 64.
+        m = GemvBandwidthModel()
+        assert m.achieved(8) == pytest.approx(650 * GB, rel=0.05)
+        assert m.achieved(64) == pytest.approx(1156 * GB, rel=0.05)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            GemvBandwidthModel().achieved(0)

@@ -1,0 +1,75 @@
+"""Tests for the inseparable HF-style KvCache baseline (Fig 6 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.kvcache.contiguous import ContiguousKvCache, wasted_decode_steps
+
+
+class TestContiguousKvCache:
+    def make(self, batch=2):
+        return ContiguousKvCache(
+            batch_ids=[f"r{i}" for i in range(batch)],
+            num_layers=2,
+            num_kv_heads=3,
+            head_dim=4,
+        )
+
+    def test_append_grows_seq_dim(self):
+        c = self.make()
+        assert c.seq_len == 0
+        k = np.ones((2, 2, 3, 4))
+        c.append_step(k, k)
+        c.append_step(k * 2, k * 2)
+        assert c.seq_len == 2
+        assert c.data.shape == (2, 2, 2, 3, 2, 4)
+
+    def test_append_copies_whole_cache(self):
+        # The paper's §5.4 complaint: each step rewrites the entire cache.
+        c = self.make()
+        k = np.ones((2, 2, 3, 4), dtype=np.float32)
+        c.append_step(k, k)
+        first = c.copied_bytes
+        c.append_step(k, k)
+        second = c.copied_bytes - first
+        assert second > first  # cost grows with the cache, not the new token
+
+    def test_get_per_request_history(self):
+        c = self.make()
+        k = np.zeros((2, 2, 3, 4), dtype=np.float32)
+        k[0, 1] = 5.0
+        c.append_step(k, k)
+        got_k, _ = c.get(layer=0, batch_index=1)
+        np.testing.assert_array_equal(got_k[:, 0, :], np.full((3, 4), 5.0))
+
+    def test_shape_validation(self):
+        c = self.make()
+        with pytest.raises(ValueError):
+            c.append_step(np.zeros((1, 2, 3, 4)), np.zeros((2, 2, 3, 4)))
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            ContiguousKvCache(["a", "a"], 1, 1, 1)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            ContiguousKvCache([], 1, 1, 1)
+
+
+class TestWastedDecodeSteps:
+    def test_fig6_example(self):
+        # Four requests batched together; shorter ones idle until the longest ends.
+        assert wasted_decode_steps([10, 4, 7, 2]) == (0 + 6 + 3 + 8)
+
+    def test_equal_lengths_no_waste(self):
+        assert wasted_decode_steps([5, 5, 5]) == 0
+
+    def test_single_request_no_waste(self):
+        assert wasted_decode_steps([100]) == 0
+
+    def test_empty(self):
+        assert wasted_decode_steps([]) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            wasted_decode_steps([3, -1])

@@ -1,0 +1,76 @@
+"""Tests for layer-by-layer LoRA loading (§5.2 alternative)."""
+
+import pytest
+
+from repro.hw.pcie import PCIE_GEN4_X16, PcieSpec
+from repro.runtime.layered_loading import (
+    LayeredTransferPlan,
+    pipelined_prefill_finish,
+    plan_layered_transfer,
+    time_to_first_token,
+)
+from repro.utils.units import MB, US
+
+
+class TestLayeredTransferPlan:
+    def test_back_to_back_copies(self):
+        plan = plan_layered_transfer(PCIE_GEN4_X16, [1 * MB] * 3, start=0.0)
+        assert plan.num_layers == 3
+        gaps = [
+            plan.layer_finishes[i + 1] - plan.layer_finishes[i] for i in range(2)
+        ]
+        per_copy = PCIE_GEN4_X16.transfer_time(1 * MB)
+        for g in gaps:
+            assert g == pytest.approx(per_copy)
+
+    def test_layers_ready(self):
+        plan = plan_layered_transfer(PCIE_GEN4_X16, [1 * MB] * 4, start=0.0)
+        assert plan.layers_ready(0.0) == 0
+        assert plan.layers_ready(plan.layer_finishes[1]) == 2
+        assert plan.layers_ready(plan.finish) == 4
+
+    def test_per_copy_latency_overhead(self):
+        # 32 small copies pay 32 fixed latencies; one big copy pays one.
+        layers = [2 * MB] * 32
+        layered = plan_layered_transfer(PCIE_GEN4_X16, layers, 0.0).finish
+        whole = PCIE_GEN4_X16.transfer_time(sum(layers))
+        assert layered == pytest.approx(whole + 31 * PCIE_GEN4_X16.latency)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_layered_transfer(PCIE_GEN4_X16, [], 0.0)
+        with pytest.raises(ValueError):
+            LayeredTransferPlan(start=1.0, layer_finishes=(0.5,))
+
+
+class TestPipelinedPrefill:
+    def test_compute_bound_when_load_fast(self):
+        # Loads land instantly relative to compute: pipeline = pure compute.
+        fast = PcieSpec(name="fast", effective_bandwidth=1e15, latency=0.0)
+        plan = plan_layered_transfer(fast, [1 * MB] * 4, 0.0)
+        finish = pipelined_prefill_finish(plan, layer_compute_time=1.0, compute_start=0.0)
+        assert finish == pytest.approx(4.0)
+
+    def test_load_bound_when_compute_fast(self):
+        plan = plan_layered_transfer(PCIE_GEN4_X16, [10 * MB] * 4, 0.0)
+        finish = pipelined_prefill_finish(plan, layer_compute_time=0.0, compute_start=0.0)
+        assert finish == pytest.approx(plan.finish)
+
+
+class TestTimeToFirstToken:
+    def test_layered_never_slower_when_latency_free(self):
+        free = PcieSpec(name="free", effective_bandwidth=25e9, latency=0.0)
+        layers = [2.5 * MB] * 32
+        layered = time_to_first_token(free, layers, 300 * US, layered=True)
+        whole = time_to_first_token(free, layers, 300 * US, layered=False)
+        assert layered <= whole
+
+    def test_savings_bounded_by_load_time(self):
+        layers = [2.5 * MB] * 32
+        layered = time_to_first_token(PCIE_GEN4_X16, layers, 300 * US, layered=True)
+        whole = time_to_first_token(PCIE_GEN4_X16, layers, 300 * US, layered=False)
+        load = PCIE_GEN4_X16.transfer_time(sum(layers))
+        assert whole - layered <= load
+        # The paper's §5.2 point: the saving is a couple of ms at most —
+        # negligible against thousands of ~30 ms decode steps.
+        assert whole - layered < 0.005

@@ -1,0 +1,94 @@
+"""Tests for Llama configurations and their size accounting."""
+
+import pytest
+
+from repro.models.config import LLAMA2_7B, LLAMA2_13B, LLAMA2_70B, LlamaConfig, tiny_config
+from repro.utils.units import GIB, MB
+
+
+class TestPresets:
+    def test_7b_param_count(self):
+        # 6.74B parameters for Llama-2 7B.
+        assert LLAMA2_7B.param_count() == pytest.approx(6.74e9, rel=0.02)
+
+    def test_13b_param_count(self):
+        assert LLAMA2_13B.param_count() == pytest.approx(13.0e9, rel=0.03)
+
+    def test_70b_param_count(self):
+        assert LLAMA2_70B.param_count() == pytest.approx(69e9, rel=0.03)
+
+    def test_70b_uses_gqa(self):
+        assert LLAMA2_70B.num_kv_heads == 8
+        assert LLAMA2_70B.kv_dim == 1024
+
+    def test_head_dim_128_everywhere(self):
+        for cfg in (LLAMA2_7B, LLAMA2_13B, LLAMA2_70B):
+            assert cfg.head_dim == 128
+
+    def test_7b_fits_one_a100_80g_with_kvcache_headroom(self):
+        # The serving setup: backbone resident + most memory for KvCache.
+        assert LLAMA2_7B.weight_bytes() < 15 * GIB
+
+    def test_kv_bytes_per_token_7b(self):
+        # 32 layers * 2 * 4096 * 2B = 512 KiB/token.
+        assert LLAMA2_7B.kv_bytes_per_token() == 32 * 2 * 4096 * 2
+
+    def test_gqa_shrinks_kvcache(self):
+        # 70B with GQA: per-token KV smaller than naive scaling would give.
+        assert LLAMA2_70B.kv_bytes_per_token() == 80 * 2 * 8 * 128 * 2
+
+
+class TestLoraSizing:
+    def test_lora_about_one_percent_of_backbone(self):
+        # Paper §2.2: each LoRA adds 0.1%-1% of the model weight.
+        ratio = LLAMA2_7B.lora_bytes(16) / LLAMA2_7B.weight_bytes()
+        assert 0.001 < ratio < 0.02
+
+    def test_lora_load_unit_matches_paper(self):
+        # §5.2: whole-model LoRA load ~2ms at ~25GB/s -> tens of MB.
+        assert 20 * MB < LLAMA2_7B.lora_bytes(16) < 80 * MB
+
+    def test_lora_scales_linearly_with_rank(self):
+        assert LLAMA2_7B.lora_bytes(32) == 2 * LLAMA2_7B.lora_bytes(16)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            LLAMA2_7B.lora_bytes(0)
+
+
+class TestProjDims:
+    def test_all_seven_projections(self):
+        dims = LLAMA2_7B.proj_dims()
+        assert set(dims) == {"q", "k", "v", "o", "gate", "up", "down"}
+        assert dims["q"] == (4096, 4096)
+        assert dims["down"] == (11008, 4096)
+
+    def test_gqa_kv_projections(self):
+        dims = LLAMA2_70B.proj_dims()
+        assert dims["k"] == (8192, 1024)
+        assert dims["q"] == (8192, 8192)
+
+
+class TestValidation:
+    def test_indivisible_heads_rejected(self):
+        with pytest.raises(ValueError):
+            LlamaConfig(
+                name="bad", hidden_size=100, intermediate_size=10,
+                num_layers=1, num_heads=3, num_kv_heads=3,
+            )
+
+    def test_kv_heads_must_divide(self):
+        with pytest.raises(ValueError):
+            LlamaConfig(
+                name="bad", hidden_size=64, intermediate_size=10,
+                num_layers=1, num_heads=4, num_kv_heads=3,
+            )
+
+    def test_tiny_config_valid(self):
+        cfg = tiny_config()
+        assert cfg.param_count() > 0
+        assert cfg.head_dim * cfg.num_heads == cfg.hidden_size
+
+    def test_tiny_config_gqa(self):
+        cfg = tiny_config(num_heads=4, num_kv_heads=2)
+        assert cfg.kv_dim == cfg.head_dim * 2

@@ -1,0 +1,170 @@
+"""Tests for the analytical step latency model — calibrated against Fig 1/10."""
+
+import pytest
+
+from repro.hw.interconnect import NVLINK_A100
+from repro.hw.kernels import KernelCostModel
+from repro.hw.spec import A100_40G, A100_80G
+from repro.models.config import LLAMA2_7B, LLAMA2_13B, LLAMA2_70B
+from repro.models.perf import (
+    PerfFlags,
+    StepWorkload,
+    decode_step_workload,
+    model_step_latency,
+    transformer_layer_latency,
+)
+from repro.models.tp import TensorParallelConfig
+from repro.utils.units import MS
+
+
+@pytest.fixture(scope="module")
+def kcm():
+    return KernelCostModel(A100_80G)
+
+
+def decode_work(bs, kv_len, distinct=True):
+    segs = [1] * bs if distinct else [bs]
+    return decode_step_workload([kv_len] * bs, lora_segments=segs)
+
+
+class TestStepWorkload:
+    def test_token_accounting(self):
+        w = StepWorkload(prefill_lens=(10,), decode_kv_lens=(5, 5, 5))
+        assert w.num_tokens == 13
+        assert w.batch_size == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StepWorkload()
+
+    def test_segment_coverage_checked(self):
+        with pytest.raises(ValueError, match="cover"):
+            StepWorkload(decode_kv_lens=(1, 1), lora_segments=(1,))
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ValueError):
+            StepWorkload(prefill_lens=(0,))
+        with pytest.raises(ValueError):
+            StepWorkload(decode_kv_lens=(-1,))
+
+
+class TestFig1Calibration:
+    """Paper Fig 1: decode bs 1->32 goes 11->13ms (short) and 17->34ms (long)."""
+
+    def test_decode_bs1_short_near_11ms(self, kcm):
+        t = model_step_latency(LLAMA2_7B, kcm, decode_work(1, 128))
+        assert 9 * MS < t < 16 * MS
+
+    def test_decode_bs32_short_near_13ms(self, kcm):
+        t = model_step_latency(LLAMA2_7B, kcm, decode_work(32, 128))
+        assert 11 * MS < t < 21 * MS
+
+    def test_decode_bs32_long_near_34ms(self, kcm):
+        t = model_step_latency(LLAMA2_7B, kcm, decode_work(32, 2048))
+        assert 28 * MS < t < 55 * MS
+
+    def test_decode_batching_nearly_free_short(self, kcm):
+        t1 = model_step_latency(LLAMA2_7B, kcm, decode_work(1, 128))
+        t32 = model_step_latency(LLAMA2_7B, kcm, decode_work(32, 128))
+        assert t32 < 1.5 * t1  # paper: 11 -> 13 ms
+
+    def test_prefill_latency_proportional_to_batch(self, kcm):
+        # Fig 1: prefill is compute-bound, latency ~ batch size.
+        t1 = model_step_latency(LLAMA2_7B, kcm, StepWorkload(prefill_lens=(512,)))
+        t4 = model_step_latency(LLAMA2_7B, kcm, StepWorkload(prefill_lens=(512,) * 4))
+        assert 2.5 < t4 / t1 < 4.5
+
+
+class TestFig10LayerShape:
+    """Fig 10: layer latency across workloads nearly identical; batching
+    effect stronger at short sequence length."""
+
+    def test_workload_agnostic_layer_latency(self, kcm):
+        # LoRA addon is small vs backbone: distinct vs identical within 15%.
+        distinct = transformer_layer_latency(LLAMA2_7B, kcm, decode_work(32, 512))
+        identical = transformer_layer_latency(
+            LLAMA2_7B, kcm, decode_work(32, 512, distinct=False)
+        )
+        assert abs(distinct - identical) / identical < 0.15
+
+    def test_batching_effect_stronger_for_short_seq(self, kcm):
+        def growth(kv):
+            t1 = transformer_layer_latency(LLAMA2_7B, kcm, decode_work(1, kv))
+            t32 = transformer_layer_latency(LLAMA2_7B, kcm, decode_work(32, kv))
+            return t32 / t1
+        assert growth(512) < growth(2048)
+
+    def test_layer_latency_increase_bounded_short(self, kcm):
+        # Paper: +72% going bs 1 -> 32 at seq 512.
+        t1 = transformer_layer_latency(LLAMA2_7B, kcm, decode_work(1, 512))
+        t32 = transformer_layer_latency(LLAMA2_7B, kcm, decode_work(32, 512))
+        assert 1.2 < t32 / t1 < 2.6
+
+    def test_13b_slower_than_7b(self, kcm):
+        t7 = transformer_layer_latency(LLAMA2_7B, kcm, decode_work(8, 512))
+        t13 = transformer_layer_latency(LLAMA2_13B, kcm, decode_work(8, 512))
+        assert t13 > t7
+
+
+class TestBaselineFlags:
+    def test_unfused_layernorm_and_overhead_slower(self, kcm):
+        fast = model_step_latency(LLAMA2_7B, kcm, decode_work(8, 512))
+        slow = model_step_latency(
+            LLAMA2_7B,
+            kcm,
+            decode_work(8, 512),
+            flags=PerfFlags(
+                flash_attention=False,
+                fused_layernorm=False,
+                cache_concat=True,
+                framework_overhead_per_layer=50e-6,
+            ),
+        )
+        assert slow > fast * 1.2
+
+    def test_cache_concat_costs_grow_with_history(self, kcm):
+        flags = PerfFlags(cache_concat=True)
+        short = model_step_latency(LLAMA2_7B, kcm, decode_work(8, 128), flags=flags)
+        long = model_step_latency(LLAMA2_7B, kcm, decode_work(8, 2048), flags=flags)
+        base_short = model_step_latency(LLAMA2_7B, kcm, decode_work(8, 128))
+        base_long = model_step_latency(LLAMA2_7B, kcm, decode_work(8, 2048))
+        assert (long - base_long) > (short - base_short)
+
+
+class TestTensorParallel70B:
+    def test_70b_step_under_8way_tp(self):
+        kcm40 = KernelCostModel(A100_40G)
+        tp = TensorParallelConfig(world_size=8, interconnect=NVLINK_A100)
+        t = model_step_latency(LLAMA2_70B, kcm40, decode_work(32, 512), tp=tp)
+        # Fig 12: Punica sustains ~441-446 tok/s at bs32 -> ~70ms/step. Our
+        # model lands somewhat faster (it omits multi-GPU kernel-sync jitter)
+        # but the same order of magnitude.
+        assert 30 * MS < t < 110 * MS
+
+    def test_tp_speeds_up_decode(self):
+        kcm40 = KernelCostModel(A100_40G)
+        tp8 = TensorParallelConfig(world_size=8, interconnect=NVLINK_A100)
+        t1 = model_step_latency(LLAMA2_70B, kcm40, decode_work(8, 512))
+        t8 = model_step_latency(LLAMA2_70B, kcm40, decode_work(8, 512), tp=tp8)
+        assert t8 < t1 / 3
+
+    def test_allreduce_overhead_nonzero(self):
+        tp = TensorParallelConfig(world_size=8, interconnect=NVLINK_A100)
+        assert tp.layer_allreduce_time(LLAMA2_70B, 32) > 0
+
+    def test_indivisible_tp_rejected(self):
+        tp = TensorParallelConfig(world_size=7, interconnect=NVLINK_A100)
+        with pytest.raises(ValueError):
+            tp.validate_for(LLAMA2_70B)
+
+    def test_world_size_one_needs_no_interconnect(self):
+        tp = TensorParallelConfig(world_size=1)
+        assert tp.layer_allreduce_time(LLAMA2_70B, 32) == 0.0
+
+    def test_multi_gpu_needs_interconnect(self):
+        with pytest.raises(ValueError, match="interconnect"):
+            TensorParallelConfig(world_size=8)
+
+    def test_weight_bytes_sharded(self):
+        tp = TensorParallelConfig(world_size=8, interconnect=NVLINK_A100)
+        assert tp.weight_bytes_per_gpu(LLAMA2_70B) == LLAMA2_70B.weight_bytes() // 8

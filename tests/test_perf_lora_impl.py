@@ -1,0 +1,45 @@
+"""Tests for the lora_impl switch in the perf model."""
+
+import pytest
+
+from repro.hw.kernels import KernelCostModel
+from repro.hw.spec import A100_80G
+from repro.models.config import LLAMA2_7B
+from repro.models.perf import PerfFlags, decode_step_workload, model_step_latency
+
+
+@pytest.fixture(scope="module")
+def kcm():
+    return KernelCostModel(A100_80G)
+
+
+def step(kcm, impl, segments):
+    work = decode_step_workload([512] * sum(segments), lora_segments=segments)
+    return model_step_latency(LLAMA2_7B, kcm, work, flags=PerfFlags(lora_impl=impl))
+
+
+class TestLoraImplFlag:
+    def test_ordering_on_distinct(self, kcm):
+        segs = [1] * 16
+        sgmv = step(kcm, "sgmv", segs)
+        gbmm = step(kcm, "gather_bmm", segs)
+        loop = step(kcm, "loop", segs)
+        assert sgmv < gbmm < loop
+
+    def test_identical_workload_closer(self, kcm):
+        # With one shared model the Loop baseline is a single GEMM pair per
+        # projection: the gap collapses.
+        segs = [16]
+        sgmv = step(kcm, "sgmv", segs)
+        loop = step(kcm, "loop", segs)
+        assert loop < 1.5 * sgmv
+
+    def test_backbone_only_unaffected(self, kcm):
+        work = decode_step_workload([512] * 8, lora_segments=None)
+        a = model_step_latency(LLAMA2_7B, kcm, work, flags=PerfFlags(lora_impl="sgmv"))
+        b = model_step_latency(LLAMA2_7B, kcm, work, flags=PerfFlags(lora_impl="loop"))
+        assert a == b
+
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(ValueError, match="lora_impl"):
+            PerfFlags(lora_impl="magic")

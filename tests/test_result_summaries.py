@@ -1,0 +1,43 @@
+"""Tests for the human-readable result summaries."""
+
+from repro.cluster.simulator import ClusterSimulator
+from repro.models.config import LLAMA2_7B
+from repro.runtime.backend import SimulatedBackend
+from repro.runtime.engine import EngineConfig, GpuEngine
+from repro.runtime.serve import requests_from_trace, serve_requests
+from repro.workloads.lengths import ShareGptLengths
+from repro.workloads.trace import generate_trace
+
+
+def short_trace(n=8):
+    return generate_trace(
+        n, "uniform", seed=0,
+        lengths=ShareGptLengths(max_prompt_len=32, max_response_len=8),
+    )
+
+
+class TestServeSummary:
+    def test_summary_fields_present(self):
+        engine = GpuEngine(
+            "gpu0", SimulatedBackend(LLAMA2_7B), EngineConfig(max_batch_size=8)
+        )
+        result = serve_requests(engine, requests_from_trace(short_trace()))
+        s = result.summary()
+        assert "8 requests" in s
+        assert "tok/s" in s
+        assert "ms/tok" in s
+
+
+class TestSimulationSummary:
+    def test_summary_fields_present(self):
+        engines = [
+            GpuEngine(
+                f"g{i}", SimulatedBackend(LLAMA2_7B), EngineConfig(max_batch_size=8)
+            )
+            for i in range(2)
+        ]
+        result = ClusterSimulator(engines).run(short_trace())
+        s = result.summary()
+        assert "8/8 requests" in s
+        assert "migrations" in s
+        assert "tok/s" in s

@@ -1,0 +1,56 @@
+"""Tests for the ASCII roofline renderer."""
+
+import pytest
+
+from repro.bench.fig07_roofline import fig07_ascii_plot
+from repro.hw.roofline import RooflinePoint, roofline_ascii
+from repro.hw.spec import A100_80G
+
+
+def point(label, intensity, achieved):
+    # Construct via flop/io/latency so derived quantities match.
+    io = 1e6
+    flop = intensity * io
+    latency = flop / achieved
+    return RooflinePoint(label=label, flop=flop, io_bytes=io, latency=latency)
+
+
+class TestRooflineAscii:
+    def test_dimensions(self):
+        art = roofline_ascii(A100_80G, [point("x", 1.0, 1e12)], width=40, height=10)
+        lines = art.splitlines()
+        # header + height rows + axis + footer
+        assert len(lines) == 1 + 10 + 1 + 1
+        assert all(len(l) == 41 for l in lines[1:11])  # '|' + width
+
+    def test_points_plotted_with_label_initial(self):
+        art = roofline_ascii(A100_80G, [point("zeta", 1.0, 1e12)])
+        assert "z" in art
+
+    def test_roof_drawn(self):
+        art = roofline_ascii(A100_80G, [point("x", 1.0, 1e12)])
+        assert "/" in art and "-" in art
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            roofline_ascii(A100_80G, [])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            roofline_ascii(A100_80G, [point("x", 1.0, 1e12)], width=5, height=3)
+
+    def test_fig07_plot_contains_all_workloads(self):
+        art = fig07_ascii_plot()
+        for marker in "dusi":
+            assert marker in art
+
+
+class TestPaperFig11Lengths:
+    def test_response_mean_near_101(self):
+        import numpy as np
+        from repro.workloads.lengths import ShareGptLengths
+
+        lengths = ShareGptLengths.paper_fig11()
+        batch = lengths.sample_batch(20_000, rng=0)
+        mean_r = np.mean([s.response_len for s in batch])
+        assert 85 < mean_r < 120  # paper: ~101k tokens / 1000 requests

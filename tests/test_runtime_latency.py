@@ -1,0 +1,92 @@
+"""Tests for latency breakdowns and SLO statistics."""
+
+import pytest
+
+from repro.models.config import LLAMA2_7B
+from repro.runtime.backend import SimulatedBackend
+from repro.runtime.engine import EngineConfig, GpuEngine
+from repro.runtime.latency import (
+    LatencyBreakdown,
+    LatencyStats,
+    breakdown_of,
+    slo_attainment,
+)
+from repro.runtime.request import Request
+from repro.runtime.serve import requests_from_trace, serve_requests
+from repro.workloads.lengths import ShareGptLengths
+from repro.workloads.trace import RequestSpec, generate_trace
+
+
+def finished_request(arrival=0.0, admitted=1.0, first=2.0, finish=6.0, tokens=5):
+    req = Request(spec=RequestSpec("r", "m", arrival, 8, tokens))
+    req.mark_running("gpu0", admitted)
+    for i in range(tokens):
+        req.record_token(i, first if i == 0 else finish)
+    req.mark_finished(finish)
+    return req
+
+
+class TestLatencyBreakdown:
+    def test_phases(self):
+        b = breakdown_of(finished_request())
+        assert b.queue_wait == 1.0
+        assert b.time_to_first_token == 2.0
+        assert b.decode_time == 4.0
+        assert b.total == 6.0
+        assert b.normalized == pytest.approx(1.2)
+
+    def test_inter_token_time(self):
+        b = breakdown_of(finished_request(tokens=5))
+        assert b.inter_token_time == pytest.approx(1.0)
+
+    def test_single_token(self):
+        b = breakdown_of(finished_request(first=2.0, finish=2.0, tokens=1))
+        assert b.inter_token_time == 0.0
+
+    def test_unfinished_rejected(self):
+        req = Request(spec=RequestSpec("r", "m", 0.0, 8, 4))
+        with pytest.raises(ValueError):
+            breakdown_of(req)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyBreakdown("r", 0.0, 0.0, 0.0, 1.0, num_tokens=0)
+        with pytest.raises(ValueError):
+            LatencyBreakdown("r", -1.0, 0.0, 0.0, 1.0, num_tokens=1)
+
+
+class TestLatencyStats:
+    def run_fleet(self, n=12):
+        trace = generate_trace(
+            n, "uniform", seed=0,
+            lengths=ShareGptLengths(max_prompt_len=32, max_response_len=16),
+        )
+        engine = GpuEngine(
+            "gpu0", SimulatedBackend(LLAMA2_7B), EngineConfig(max_batch_size=8)
+        )
+        reqs = requests_from_trace(trace)
+        serve_requests(engine, reqs)
+        return reqs
+
+    def test_aggregate(self):
+        reqs = self.run_fleet()
+        stats = LatencyStats.from_requests(reqs)
+        assert stats.count == 12
+        assert 0 < stats.p50_normalized <= stats.p99_normalized
+        assert stats.mean_ttft > 0
+        assert stats.mean_queue_wait >= 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats.from_requests([])
+
+    def test_slo_attainment_bounds(self):
+        reqs = self.run_fleet()
+        assert slo_attainment(reqs, 1e-9) == 0.0
+        assert slo_attainment(reqs, 1e9) == 1.0
+        mid = slo_attainment(reqs, LatencyStats.from_requests(reqs).p50_normalized)
+        assert 0.4 <= mid <= 0.7
+
+    def test_slo_validation(self):
+        with pytest.raises(ValueError):
+            slo_attainment([], 0.0)

@@ -1,0 +1,92 @@
+"""Tests for on-demand LoRA loading (paper §5.2)."""
+
+import pytest
+
+from repro.hw.pcie import PCIE_GEN4_X16
+from repro.runtime.loader import LoraLoader
+from repro.utils.units import MB, MS
+
+
+class TestLoading:
+    def test_load_becomes_ready_after_transfer(self):
+        loader = LoraLoader()
+        plan = loader.request_load("m0", 40 * MB, now=0.0)
+        assert loader.is_resident("m0")
+        assert not loader.is_ready("m0", now=0.0)
+        assert loader.is_ready("m0", now=plan.finish)
+        # §5.2: whole-model load ~2ms.
+        assert 1 * MS < plan.duration < 3 * MS
+
+    def test_idempotent_load(self):
+        loader = LoraLoader()
+        p1 = loader.request_load("m0", 40 * MB, now=0.0)
+        p2 = loader.request_load("m0", 40 * MB, now=1.0)
+        assert p1 is p2  # no second copy issued
+
+    def test_ready_time(self):
+        loader = LoraLoader()
+        plan = loader.request_load("m0", 10 * MB, now=5.0)
+        assert loader.ready_time("m0") == plan.finish
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            LoraLoader().ready_time("ghost")
+
+
+class TestRefcounting:
+    def test_acquire_release(self):
+        loader = LoraLoader()
+        loader.request_load("m0", 1 * MB, now=0.0)
+        loader.acquire("m0", now=0.0)
+        loader.release("m0")
+        with pytest.raises(RuntimeError):
+            loader.release("m0")
+
+    def test_acquire_unloaded_rejected(self):
+        with pytest.raises(KeyError):
+            LoraLoader().acquire("ghost", now=0.0)
+
+
+class TestEviction:
+    def test_lru_eviction_when_over_budget(self):
+        loader = LoraLoader(capacity_bytes=100 * MB)
+        loader.request_load("old", 60 * MB, now=0.0)
+        loader.request_load("new", 60 * MB, now=10.0)  # must evict "old"
+        assert not loader.is_resident("old")
+        assert loader.is_resident("new")
+
+    def test_pinned_models_never_evicted(self):
+        loader = LoraLoader(capacity_bytes=100 * MB)
+        loader.request_load("pinned", 60 * MB, now=0.0)
+        loader.acquire("pinned", now=0.0)
+        with pytest.raises(MemoryError):
+            loader.request_load("other", 60 * MB, now=10.0)
+
+    def test_in_flight_transfers_not_evicted(self):
+        loader = LoraLoader(capacity_bytes=100 * MB)
+        loader.request_load("inflight", 60 * MB, now=0.0)
+        # At now=0 the copy hasn't finished; it cannot be the LRU victim.
+        with pytest.raises(MemoryError):
+            loader.request_load("other", 60 * MB, now=0.0)
+
+    def test_no_budget_never_evicts(self):
+        loader = LoraLoader()
+        for i in range(20):
+            loader.request_load(f"m{i}", 100 * MB, now=float(i))
+        assert len(loader.resident_models()) == 20
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            LoraLoader(capacity_bytes=0)
+
+
+class TestLayerGranularity:
+    def test_layer_load_near_paper_50us(self):
+        # §5.2 quotes ~50us/layer and ~2ms/model; at rank 16 a 7B layer's
+        # LoRA is ~2.5 MB, which PCIe Gen4 x16 moves in ~100us — the paper's
+        # two numbers are mutually inconsistent (32 x 50us = 1.6ms), so we
+        # accept the same order of magnitude (see EXPERIMENTS.md).
+        from repro.models.config import LLAMA2_7B
+        layer_bytes = LLAMA2_7B.lora_bytes(16) / LLAMA2_7B.num_layers
+        t = PCIE_GEN4_X16.transfer_time(layer_bytes)
+        assert 30e-6 < t < 200e-6

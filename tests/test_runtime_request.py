@@ -1,0 +1,81 @@
+"""Tests for request lifecycle state transitions."""
+
+import pytest
+
+from repro.runtime.request import Request, RequestState
+from repro.workloads.trace import RequestSpec
+
+
+def make_request(prompt_len=8, response_len=4, arrival=0.0):
+    return Request(
+        spec=RequestSpec(
+            request_id="r0", lora_id="m0", arrival_time=arrival,
+            prompt_len=prompt_len, response_len=response_len,
+        )
+    )
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        r = make_request()
+        assert r.state is RequestState.QUEUED
+        assert r.needs_prefill
+        assert r.num_generated == 0
+
+    def test_run_and_finish(self):
+        r = make_request(response_len=2)
+        r.mark_running("gpu0")
+        r.record_token(5, now=1.0)
+        r.record_token(7, now=2.0)
+        assert r.reached_limit()
+        r.mark_finished(2.0)
+        assert r.state is RequestState.FINISHED
+        assert r.generated_tokens == [5, 7]
+
+    def test_first_token_time_stamped_once(self):
+        r = make_request()
+        r.mark_running("gpu0")
+        r.record_token(1, now=3.0)
+        r.record_token(2, now=4.0)
+        assert r.first_token_time == 3.0
+        assert r.time_to_first_token() == 3.0
+
+    def test_record_token_requires_running(self):
+        r = make_request()
+        with pytest.raises(RuntimeError):
+            r.record_token(1, now=0.0)
+
+
+class TestEviction:
+    def test_evict_preserves_progress(self):
+        r = make_request(prompt_len=10)
+        r.mark_running("gpu0")
+        r.record_token(1, now=1.0)
+        r.record_token(2, now=2.0)
+        r.kv_len = 12
+        r.evict()
+        assert r.state is RequestState.QUEUED
+        assert r.generated_tokens == [1, 2]
+        assert r.kv_len == 0
+        assert r.needs_prefill
+        assert r.num_migrations == 1
+        # Re-prefill covers prompt + generated tokens (§5.3 recomputation).
+        assert r.effective_prompt_len == 12
+
+    def test_evict_requires_running(self):
+        with pytest.raises(RuntimeError):
+            make_request().evict()
+
+
+class TestMetrics:
+    def test_normalized_latency(self):
+        r = make_request(arrival=10.0, response_len=2)
+        r.mark_running("gpu0")
+        r.record_token(1, now=12.0)
+        r.record_token(2, now=14.0)
+        r.mark_finished(14.0)
+        assert r.normalized_latency() == pytest.approx(2.0)
+
+    def test_latency_requires_finished(self):
+        with pytest.raises(RuntimeError):
+            make_request().normalized_latency()

@@ -1,0 +1,46 @@
+"""Tests for token samplers."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.sampler import GreedySampler, TemperatureSampler
+
+
+class TestGreedy:
+    def test_argmax(self):
+        assert GreedySampler().sample(np.array([0.1, 5.0, 2.0])) == 1
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            GreedySampler().sample(np.zeros((2, 3)))
+
+
+class TestTemperature:
+    def test_low_temperature_approaches_greedy(self):
+        logits = np.array([0.0, 10.0, 1.0])
+        s = TemperatureSampler(temperature=0.01, seed=0)
+        assert all(s.sample(logits) == 1 for _ in range(20))
+
+    def test_reproducible_with_seed(self):
+        logits = np.array([1.0, 1.1, 0.9, 1.05])
+        a = [TemperatureSampler(seed=7).sample(logits) for _ in range(1)]
+        b = [TemperatureSampler(seed=7).sample(logits) for _ in range(1)]
+        assert a == b
+
+    def test_top_k_restricts_support(self):
+        logits = np.array([10.0, 9.0, -50.0, -50.0])
+        s = TemperatureSampler(temperature=5.0, top_k=2, seed=0)
+        draws = {s.sample(logits) for _ in range(50)}
+        assert draws <= {0, 1}
+
+    def test_high_temperature_spreads(self):
+        logits = np.array([2.0, 1.0, 0.0])
+        s = TemperatureSampler(temperature=50.0, seed=0)
+        draws = {s.sample(logits) for _ in range(200)}
+        assert draws == {0, 1, 2}
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TemperatureSampler(temperature=0)
+        with pytest.raises(ValueError):
+            TemperatureSampler(top_k=0)

@@ -1,0 +1,41 @@
+"""Tests for trace JSON round-tripping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.trace import Trace, generate_trace, open_loop_trace
+
+
+class TestTraceJson:
+    def test_roundtrip_closed_loop(self):
+        trace = generate_trace(30, "skewed", seed=0)
+        assert Trace.from_json(trace.to_json()).requests == trace.requests
+
+    def test_roundtrip_open_loop(self):
+        trace = open_loop_trace(rate=3.0, duration=10.0, seed=1)
+        restored = Trace.from_json(trace.to_json())
+        assert restored.requests == trace.requests
+        assert restored.duration == trace.duration
+
+    def test_save_load(self, tmp_path):
+        trace = generate_trace(10, "uniform", seed=2)
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        assert Trace.load(path).requests == trace.requests
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ValueError, match="version-1"):
+            Trace.from_json('{"schema": 2, "requests": []}')
+        with pytest.raises(ValueError):
+            Trace.from_json("[1, 2, 3]")
+
+    def test_empty_trace_roundtrips(self):
+        assert Trace.from_json(Trace().to_json()).requests == ()
+
+    @given(st.integers(1, 60), st.sampled_from(["distinct", "uniform", "skewed", "identical"]),
+           st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_property(self, n, dist, seed):
+        trace = generate_trace(n, dist, seed=seed)
+        assert Trace.from_json(trace.to_json()).requests == trace.requests

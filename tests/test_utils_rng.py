@@ -1,0 +1,47 @@
+"""Tests for seeded RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import new_rng, spawn_rngs
+
+
+class TestNewRng:
+    def test_seed_reproducible(self):
+        a = new_rng(42).standard_normal(8)
+        b = new_rng(42).standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = new_rng(1).standard_normal(8)
+        b = new_rng(2).standard_normal(8)
+        assert not np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert new_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(new_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_reproducible(self):
+        a = [g.standard_normal(4) for g in spawn_rngs(7, 3)]
+        b = [g.standard_normal(4) for g in spawn_rngs(7, 3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_children_independent(self):
+        g1, g2 = spawn_rngs(7, 2)
+        assert not np.array_equal(g1.standard_normal(16), g2.standard_normal(16))
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,34 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [10, 20]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # All lines same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Figure 8")
+        assert out.splitlines()[0] == "Figure 8"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.000012], [1044.0], [3.25]])
+        assert "1.2e-05" in out
+        assert "3.25" in out
+
+    def test_zero(self):
+        assert "0" in format_table(["v"], [[0.0]])
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out

@@ -1,0 +1,65 @@
+"""Tests for repro.utils.units formatting helpers."""
+
+import pytest
+
+from repro.utils.units import (
+    GB,
+    GIB,
+    KIB,
+    MIB,
+    MS,
+    US,
+    format_bytes,
+    format_duration,
+)
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert format_bytes(KIB) == "1.00 KiB"
+
+    def test_mib(self):
+        assert format_bytes(3 * MIB) == "3.00 MiB"
+
+    def test_gib(self):
+        assert format_bytes(80 * GIB) == "80.00 GiB"
+
+    def test_zero(self):
+        assert format_bytes(0) == "0 B"
+
+    def test_negative(self):
+        assert format_bytes(-KIB) == "-1.00 KiB"
+
+    def test_fractional(self):
+        assert format_bytes(1536) == "1.50 KiB"
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(2.5) == "2.500 s"
+
+    def test_milliseconds(self):
+        assert format_duration(30 * MS) == "30.00 ms"
+
+    def test_microseconds(self):
+        assert format_duration(37 * US) == "37.0 us"
+
+    def test_nanoseconds(self):
+        assert format_duration(5e-9) == "5.0 ns"
+
+    def test_negative(self):
+        assert format_duration(-1 * MS) == "-1.00 ms"
+
+
+class TestConstants:
+    def test_si_vs_binary(self):
+        assert GB == 10**9
+        assert GIB == 2**30
+        assert GIB > GB
+
+    def test_time_units(self):
+        assert MS == pytest.approx(1e-3)
+        assert US == pytest.approx(1e-6)

@@ -1,0 +1,66 @@
+"""Tests for trace analytics."""
+
+import pytest
+
+from repro.workloads.analysis import (
+    empirical_zipf_alpha,
+    popularity_histogram,
+    summarize_trace,
+)
+from repro.workloads.lengths import ShareGptLengths
+from repro.workloads.trace import Trace, generate_trace, open_loop_trace
+
+
+class TestSummarizeTrace:
+    def test_basic_fields(self):
+        trace = generate_trace(200, "uniform", seed=0)
+        s = summarize_trace(trace)
+        assert s.num_requests == 200
+        assert s.num_lora_models == 15  # ceil(sqrt(200))
+        assert s.total_tokens == trace.total_prompt_tokens + trace.total_response_tokens
+        assert s.p50_prompt_len <= s.p99_prompt_len
+        assert s.mean_response_len > 0
+
+    def test_closed_loop_has_zero_rate(self):
+        s = summarize_trace(generate_trace(10, "identical", seed=0))
+        assert s.duration == 0.0
+        assert s.mean_rate == 0.0
+
+    def test_open_loop_rate(self):
+        trace = open_loop_trace(rate=5.0, duration=40.0, seed=0)
+        s = summarize_trace(trace)
+        assert 3.0 < s.mean_rate < 7.0
+
+    def test_top_model_share(self):
+        identical = summarize_trace(generate_trace(50, "identical", seed=0))
+        assert identical.top_model_share == 1.0
+        distinct = summarize_trace(generate_trace(50, "distinct", seed=0))
+        assert distinct.top_model_share == pytest.approx(1 / 50)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_trace(Trace())
+
+
+class TestPopularity:
+    def test_histogram_sorted(self):
+        trace = generate_trace(300, "skewed", seed=0)
+        hist = popularity_histogram(trace)
+        counts = [c for _, c in hist]
+        assert counts == sorted(counts, reverse=True)
+        assert sum(counts) == 300
+
+    def test_zipf_alpha_recovered(self):
+        # The Skewed workload is built with alpha=1.5; the estimator should
+        # land near it on a large trace.
+        trace = generate_trace(3000, "skewed", seed=0)
+        alpha = empirical_zipf_alpha(trace)
+        assert 1.3 < alpha < 1.7
+
+    def test_uniform_alpha_near_one(self):
+        trace = generate_trace(3000, "uniform", seed=0)
+        assert 0.95 < empirical_zipf_alpha(trace) < 1.1
+
+    def test_alpha_needs_two_models(self):
+        with pytest.raises(ValueError):
+            empirical_zipf_alpha(generate_trace(10, "identical", seed=0))

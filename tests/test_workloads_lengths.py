@@ -1,0 +1,62 @@
+"""Tests for the ShareGPT-like length sampler."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.lengths import LengthSample, ShareGptLengths
+
+
+class TestLengthSample:
+    def test_total(self):
+        s = LengthSample(prompt_len=10, response_len=20)
+        assert s.total_len == 30
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LengthSample(prompt_len=0, response_len=1)
+
+
+class TestShareGptLengths:
+    def test_reproducible(self):
+        d = ShareGptLengths()
+        a = d.sample_batch(10, rng=1)
+        b = d.sample_batch(10, rng=1)
+        assert a == b
+
+    def test_bounds_respected(self):
+        d = ShareGptLengths(max_prompt_len=64, max_response_len=32)
+        for s in d.sample_batch(500, rng=0):
+            assert d.min_len <= s.prompt_len <= 64
+            assert d.min_len <= s.response_len <= 32
+
+    def test_marginals_near_sharegpt(self):
+        # vLLM-paper moments: mean prompt ~161, mean output ~338 tokens.
+        d = ShareGptLengths(max_prompt_len=100_000, max_response_len=100_000)
+        batch = d.sample_batch(20_000, rng=0)
+        mean_p = np.mean([s.prompt_len for s in batch])
+        mean_r = np.mean([s.response_len for s in batch])
+        assert 130 < mean_p < 195
+        assert 280 < mean_r < 410
+
+    def test_heavy_tail(self):
+        d = ShareGptLengths()
+        lens = [s.response_len for s in d.sample_batch(5000, rng=0)]
+        assert np.percentile(lens, 99) > 4 * np.median(lens)
+
+    def test_single_sample(self):
+        s = ShareGptLengths().sample(rng=0)
+        assert isinstance(s, LengthSample)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            ShareGptLengths().sample_batch(-1)
+
+    def test_mean_total_len_analytic(self):
+        d = ShareGptLengths()
+        assert 400 < d.mean_total_len() < 600
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ShareGptLengths(min_len=0)
+        with pytest.raises(ValueError):
+            ShareGptLengths(min_len=10, max_prompt_len=5)

@@ -1,0 +1,109 @@
+"""Tests for the four popularity distributions of §7."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.popularity import (
+    POPULARITY_NAMES,
+    assign_lora_ids,
+    num_models_for,
+    segment_sizes_for,
+    uniform_counts,
+    zipf_counts,
+)
+
+
+class TestZipfCounts:
+    def test_sums_to_n(self):
+        assert sum(zipf_counts(1000)) == 1000
+
+    def test_alpha_ratio(self):
+        # The i-th most popular gets ~alpha x the (i+1)-th's requests.
+        counts = zipf_counts(10_000, alpha=1.5)
+        assert counts[0] / counts[1] == pytest.approx(1.5, rel=0.05)
+
+    def test_sorted_descending(self):
+        counts = zipf_counts(500)
+        assert counts == sorted(counts, reverse=True)
+
+    def test_no_zeros(self):
+        assert all(c > 0 for c in zipf_counts(7))
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            zipf_counts(10, alpha=1.0)
+
+    @given(st.integers(1, 2000))
+    def test_sum_property(self, n):
+        assert sum(zipf_counts(n)) == n
+
+
+class TestUniformCounts:
+    def test_sqrt_models(self):
+        # Paper: given n requests, use ceil(sqrt(n)) models.
+        assert len(uniform_counts(64)) == 8
+        assert len(uniform_counts(65)) == 9
+
+    def test_even_split(self):
+        counts = uniform_counts(64)
+        assert max(counts) - min(counts) <= 1
+        assert sum(counts) == 64
+
+    @given(st.integers(1, 5000))
+    def test_properties(self, n):
+        counts = uniform_counts(n)
+        assert sum(counts) == n
+        assert len(counts) == math.isqrt(n) + (0 if math.isqrt(n) ** 2 == n else 1)
+
+
+class TestSegmentSizesFor:
+    def test_distinct(self):
+        assert segment_sizes_for("distinct", 5) == [1] * 5
+
+    def test_identical(self):
+        assert segment_sizes_for("identical", 32) == [32]
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError, match="unknown"):
+            segment_sizes_for("zipfian", 8)
+
+    @pytest.mark.parametrize("dist", POPULARITY_NAMES)
+    @pytest.mark.parametrize("bs", [1, 2, 16, 32, 64])
+    def test_always_sums_to_batch(self, dist, bs):
+        assert sum(segment_sizes_for(dist, bs)) == bs
+
+    def test_num_models_ordering(self):
+        # distinct >= skewed/uniform >= identical in model count.
+        bs = 64
+        assert num_models_for("distinct", bs) == 64
+        assert num_models_for("identical", bs) == 1
+        assert 1 < num_models_for("uniform", bs) < 64
+        assert 1 < num_models_for("skewed", bs) < 64
+
+
+class TestAssignLoraIds:
+    def test_count_and_naming(self):
+        ids = assign_lora_ids(100, "uniform", rng=0)
+        assert len(ids) == 100
+        assert all(i.startswith("lora-") for i in ids)
+        assert len(set(ids)) == 10  # ceil(sqrt(100))
+
+    def test_distinct_all_unique(self):
+        ids = assign_lora_ids(25, "distinct", rng=0)
+        assert len(set(ids)) == 25
+
+    def test_identical_single_model(self):
+        ids = assign_lora_ids(25, "identical", rng=0)
+        assert set(ids) == {"lora-0"}
+
+    def test_shuffle_reproducible(self):
+        assert assign_lora_ids(50, "skewed", rng=3) == assign_lora_ids(50, "skewed", rng=3)
+
+    def test_unshuffled_grouped(self):
+        ids = assign_lora_ids(10, "uniform", shuffle=False)
+        # Grouped: each model forms one contiguous run.
+        transitions = sum(1 for a, b in zip(ids, ids[1:]) if a != b)
+        assert transitions == len(set(ids)) - 1
