@@ -1,0 +1,207 @@
+"""Unified GPU memory pool: one byte budget shared by KvCache and adapters.
+
+Punica sizes a standalone KvCache pool and (optionally) a separate LoRA
+byte budget. S-LoRA's observation is that this split strands memory: at low
+adapter diversity the adapter area idles while KvCache is starved, and vice
+versa. :class:`UnifiedMemoryPool` carves **one** per-GPU byte budget that
+both consumers draw from:
+
+* KvCache pages go through the existing
+  :class:`~repro.kvcache.pool.KvPool` (paged accounting is unchanged), but
+  admission and append are additionally gated on the shared budget;
+* adapter weights live in a :class:`~repro.adapters.store.GpuAdapterStore`
+  whose budget is the same number, with KvCache usage counted as external;
+* under KvCache pressure, unpinned adapters are evicted (demoted to the
+  HOST tier) to free bytes — adapters pinned by in-flight requests never
+  are, and KvCache admission that would require evicting a pinned adapter
+  simply fails (the request queues or is routed elsewhere).
+
+The invariant — ``kv_used_bytes + adapter_used_bytes <= capacity_bytes``
+at every point of any load/evict/prefetch/append sequence — is what the
+property tests exercise.
+"""
+
+from __future__ import annotations
+
+from repro.adapters.registry import AdapterRegistry, Tier
+from repro.adapters.store import AdapterEvent, GpuAdapterStore
+from repro.hw.pcie import PCIE_GEN4_X16, PcieSpec, TransferPlan
+from repro.kvcache.pool import KvPool
+
+
+class UnifiedMemoryPool:
+    """Shared KvCache + adapter byte budget for one GPU.
+
+    Exposes both halves of the engine's memory interface: the ``kv_*``
+    methods a backend delegates to, and the loader interface
+    (:meth:`request_load` / :meth:`acquire` / :meth:`release` / ...) the
+    engine's ``loader`` slot expects — pass the pool as both.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: float,
+        page_size: int,
+        bytes_per_token: int,
+        pcie: PcieSpec = PCIE_GEN4_X16,
+        registry: "AdapterRegistry | None" = None,
+        gpu_id: str = "gpu0",
+        serialize_pcie: bool = True,
+    ):
+        self.kv = KvPool(
+            capacity_bytes=capacity_bytes,
+            page_size=page_size,
+            bytes_per_token=bytes_per_token,
+        )
+        self.capacity_bytes = float(capacity_bytes)
+        self.page_size = page_size
+        self.bytes_per_token = bytes_per_token
+        self.page_bytes = page_size * bytes_per_token
+        self.gpu_id = gpu_id
+        self.adapters = GpuAdapterStore(
+            pcie=pcie,
+            capacity_bytes=capacity_bytes,
+            registry=registry,
+            gpu_id=gpu_id,
+            serialize_pcie=serialize_pcie,
+            external_used=self._kv_used,
+        )
+
+    def _kv_used(self) -> float:
+        return float(self.kv.used_bytes())
+
+    # -- shared accounting ----------------------------------------------
+    def kv_used_bytes(self) -> float:
+        return self._kv_used()
+
+    def adapter_used_bytes(self) -> float:
+        return self.adapters.used_bytes()
+
+    def total_used_bytes(self) -> float:
+        return self._kv_used() + self.adapters.used_bytes()
+
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self.total_used_bytes()
+
+    def check_invariant(self) -> None:
+        """Raise if the shared budget is overcommitted (test hook)."""
+        total = self.total_used_bytes()
+        if total > self.capacity_bytes + 1e-6:
+            raise RuntimeError(
+                f"{self.gpu_id}: unified pool overcommitted — "
+                f"{self._kv_used():.0f} KvCache + "
+                f"{self.adapters.used_bytes():.0f} adapter bytes exceed "
+                f"the {self.capacity_bytes:.0f}-byte budget"
+            )
+
+    # -- KvCache interface (what a backend delegates to) ------------------
+    def _pages_bytes(self, tokens: int) -> float:
+        return float(-(-tokens // self.page_size) * self.page_bytes)
+
+    def _append_bytes(self, seq_id: str) -> float:
+        """Bytes one more token needs: a page's worth when the tail is full."""
+        if self.kv.seq_len(seq_id) % self.page_size == 0:
+            return float(self.page_bytes)
+        return 0.0
+
+    def kv_can_admit(self, prompt_len: int, headroom_tokens: int = 0) -> bool:
+        if not self.kv.can_admit(prompt_len, headroom_tokens):
+            return False
+        needed = self._pages_bytes(prompt_len + headroom_tokens)
+        return (
+            self._kv_used() + needed + self.adapters.pinned_bytes()
+            <= self.capacity_bytes
+        )
+
+    def kv_admit(self, seq_id: str, prompt_len: int) -> None:
+        needed = self._pages_bytes(prompt_len)
+        if not self.adapters.reclaim(needed):
+            raise MemoryError(
+                f"{self.gpu_id}: cannot free {needed:.0f} bytes for KvCache "
+                f"admission of {seq_id!r}; every adapter is pinned"
+            )
+        self.kv.allocate(seq_id, prompt_len)
+
+    def kv_can_append(self, seq_id: str) -> bool:
+        if not self.kv.can_append_token(seq_id):
+            return False
+        needed = self._append_bytes(seq_id)
+        if needed == 0.0:
+            return True
+        return (
+            self._kv_used() + needed + self.adapters.pinned_bytes()
+            <= self.capacity_bytes
+        )
+
+    def kv_append(self, seq_id: str) -> None:
+        needed = self._append_bytes(seq_id)
+        if needed and not self.adapters.reclaim(needed):
+            raise MemoryError(
+                f"{self.gpu_id}: cannot free a KvCache page for {seq_id!r}; "
+                f"every adapter is pinned"
+            )
+        self.kv.append_token(seq_id)
+
+    def kv_release(self, seq_id: str) -> None:
+        if seq_id in self.kv:
+            self.kv.free(seq_id)
+
+    def kv_free_tokens(self) -> int:
+        """Guaranteed-admittable tokens under both page and byte limits.
+
+        Evictable (unpinned) adapter bytes count as free — the pool will
+        demote them on demand.
+        """
+        budget_free = (
+            self.capacity_bytes - self._kv_used() - self.adapters.pinned_bytes()
+        )
+        by_bytes = max(0, int(budget_free // self.bytes_per_token))
+        return min(self.kv.free_tokens, by_bytes)
+
+    # -- loader interface (what the engine's ``loader`` slot expects) -----
+    def advance(self, now: float) -> None:
+        self.adapters.advance(now)
+
+    def request_load(self, lora_id: str, nbytes: float, now: float) -> TransferPlan:
+        return self.adapters.request_load(lora_id, nbytes, now)
+
+    def prefetch(self, lora_id: str, now: float, nbytes: "float | None" = None) -> bool:
+        return self.adapters.prefetch(lora_id, now, nbytes)
+
+    def acquire(self, lora_id: str, now: float) -> None:
+        self.adapters.acquire(lora_id, now)
+
+    def release(self, lora_id: str) -> None:
+        self.adapters.release(lora_id)
+
+    def is_resident(self, lora_id: str) -> bool:
+        return self.adapters.is_resident(lora_id)
+
+    def is_ready(self, lora_id: str, now: float) -> bool:
+        return self.adapters.is_ready(lora_id, now)
+
+    def ready_time(self, lora_id: str) -> float:
+        return self.adapters.ready_time(lora_id)
+
+    def resident_models(self) -> list[str]:
+        return self.adapters.resident_models()
+
+    def used_bytes(self) -> float:
+        """Adapter bytes (loader-API semantics; see :meth:`total_used_bytes`)."""
+        return self.adapters.used_bytes()
+
+    def tier(self, lora_id: str) -> Tier:
+        return self.adapters.tier(lora_id)
+
+    def can_admit_adapter(self, lora_id: str, nbytes: float) -> bool:
+        return self.adapters.can_admit_adapter(lora_id, nbytes)
+
+    def pcie_idle(self, now: float) -> bool:
+        return self.adapters.pcie_idle(now)
+
+    @property
+    def num_evictions(self) -> int:
+        return self.adapters.num_evictions
+
+    def drain_events(self) -> list[AdapterEvent]:
+        return self.adapters.drain_events()

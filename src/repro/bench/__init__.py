@@ -7,6 +7,7 @@ same rows the paper plots. The pytest-benchmark files under
 wall-clock of the real NumPy kernels.
 """
 
+from repro.bench.adapter_cache import run_adapter_cache_ablation
 from repro.bench.fig01_batching import run_fig01
 from repro.bench.fig07_roofline import run_fig07
 from repro.bench.fig08_lora_ops import run_fig08
@@ -20,6 +21,7 @@ from repro.bench.reporting import FigureTable
 
 __all__ = [
     "FigureTable",
+    "run_adapter_cache_ablation",
     "run_fig01",
     "run_fig07",
     "run_fig08",

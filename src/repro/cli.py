@@ -59,7 +59,131 @@ def build_parser() -> argparse.ArgumentParser:
         if name in ("fig11", "fig12"):
             p.add_argument("--requests", type=int, default=None,
                            help="trace size (default: quick scale)")
+    _add_adapters_parser(sub)
     return parser
+
+
+def _add_adapters_parser(sub) -> None:
+    """The adapter-lifecycle subcommand (registry + tiered cache tooling)."""
+    adapters = sub.add_parser(
+        "adapters", help="adapter lifecycle: registry listing, cache simulation"
+    )
+    asub = adapters.add_subparsers(dest="adapters_command", required=True)
+
+    lst = asub.add_parser(
+        "list", help="register a trace's adapters and list their metadata"
+    )
+    lst.add_argument("--requests", type=int, default=500, help="trace size")
+    lst.add_argument("--alpha", type=float, default=1.1, help="Zipf skew")
+    lst.add_argument("--seed", type=int, default=0)
+    lst.add_argument("--out", type=pathlib.Path, default=None)
+
+    simc = asub.add_parser(
+        "simulate-cache",
+        help="simulate the tiered adapter cache on a Zipf trace",
+    )
+    simc.add_argument(
+        "--tiers", action="append", default=None, metavar="GPU[:HOST]",
+        help="GPU adapter slots and host staging slots, e.g. 4:16 "
+             "(omit :HOST for unbounded host RAM); repeatable",
+    )
+    simc.add_argument("--no-prefetch", action="store_true",
+                      help="disable the popularity-driven prefetcher")
+    simc.add_argument("--seed", type=int, default=0)
+    simc.add_argument("--out", type=pathlib.Path, default=None)
+
+
+def _parse_tiers(spec: str) -> "tuple[int, int | None]":
+    gpu, _, host = spec.partition(":")
+    try:
+        gpu_slots = int(gpu)
+        host_slots = int(host) if host else None
+    except ValueError:
+        raise SystemExit(f"bad --tiers spec {spec!r}; expected GPU[:HOST]")
+    if gpu_slots < 1 or (host_slots is not None and host_slots < 1):
+        raise SystemExit(f"--tiers slots must be >= 1, got {spec!r}")
+    return gpu_slots, host_slots
+
+
+def _run_adapters(args) -> int:
+    from dataclasses import replace
+
+    from repro.adapters import AdapterRegistry, register_trace_adapters
+    from repro.bench.adapter_cache import (
+        QUICK,
+        build_adapter_cluster,
+        mean_cold_ttft,
+        mean_ttft,
+    )
+    from repro.models.config import LLAMA2_7B
+    from repro.utils.units import MIB, MS
+    from repro.workloads.trace import generate_trace, open_loop_trace
+
+    if args.adapters_command == "list":
+        trace = generate_trace(
+            args.requests, "skewed", seed=args.seed, alpha=args.alpha
+        )
+        registry = AdapterRegistry()
+        register_trace_adapters(registry, trace, LLAMA2_7B)
+        counts: "dict[str, int]" = {}
+        for spec in trace:
+            counts[spec.lora_id] = counts.get(spec.lora_id, 0) + 1
+        table = FigureTable(
+            figure_id="Adapter registry",
+            title=(
+                f"{len(registry)} adapters over {len(trace)} requests "
+                f"(Zipf-{args.alpha})"
+            ),
+            headers=["lora_id", "rank", "mib", "trace_requests", "tier"],
+        )
+        for meta in sorted(
+            registry.adapters(), key=lambda m: -counts[m.lora_id]
+        ):
+            table.add_row(
+                meta.lora_id, meta.rank, meta.nbytes / MIB,
+                counts[meta.lora_id], registry.tier(meta.lora_id).name,
+            )
+    else:
+        scale = QUICK
+        trace = open_loop_trace(
+            rate=scale.rate, duration=scale.duration, distribution="skewed",
+            seed=args.seed, alpha=scale.alpha,
+        )
+        table = FigureTable(
+            figure_id="Adapter cache simulation",
+            title=(
+                f"{scale.num_gpus} GPUs, {trace.num_lora_models} adapters, "
+                f"prefetch {'off' if args.no_prefetch else 'on'}"
+            ),
+            headers=[
+                "tiers", "cold_ttft_ms", "mean_ttft_ms", "gpu_hits",
+                "host_hits", "disk_hits", "evictions", "prefetch_acc",
+            ],
+        )
+        for spec in args.tiers or ["4", "4:16", "2:8"]:
+            gpu_slots, host_slots = _parse_tiers(spec)
+            sim, _, _ = build_adapter_cluster(
+                trace,
+                scale=replace(scale, gpu_adapter_slots=gpu_slots),
+                prefetch=not args.no_prefetch,
+                host_slots=host_slots,
+            )
+            result = sim.run(trace)
+            hits = result.metrics.adapter_hit_counts()
+            table.add_row(
+                spec, mean_cold_ttft(result) / MS, mean_ttft(result) / MS,
+                hits["gpu"], hits["host"], hits["disk"],
+                result.metrics.eviction_count(),
+                result.metrics.prefetch_accuracy(),
+            )
+        table.add_note("tiers = GPU adapter slots[:host staging slots]")
+    text = table.render()
+    print(text)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        name = f"adapters_{args.adapters_command.replace('-', '_')}"
+        (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0
 
 
 def _run_one(name: str, out: "pathlib.Path | None", requests: "int | None") -> None:
@@ -90,6 +214,8 @@ def main(argv: "list[str] | None" = None) -> int:
         for name in RUNNERS:
             _run_one(name, args.out, requests=None)
         return 0
+    if args.command == "adapters":
+        return _run_adapters(args)
     _run_one(args.command, args.out, getattr(args, "requests", None))
     return 0
 

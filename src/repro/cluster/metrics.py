@@ -1,4 +1,5 @@
-"""Time-series metrics for cluster experiments (the three panels of Fig 13)."""
+"""Time-series metrics for cluster experiments (the three panels of Fig 13,
+plus the adapter-lifecycle panels the tiered cache ablation plots)."""
 
 from __future__ import annotations
 
@@ -6,6 +7,8 @@ import bisect
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.adapters.registry import Tier
 
 
 @dataclass
@@ -37,10 +40,17 @@ class TimeSeries:
         edges = np.arange(0.0, duration + bucket, bucket)
         times = np.asarray(self.times)
         values = np.asarray(self.values)
+        # ``times`` is sorted (record enforces it), so one searchsorted pass
+        # finds every bucket boundary: O(samples + buckets) instead of one
+        # boolean mask per bucket. Each slice holds exactly the samples in
+        # [lo, hi), in recording order, so aggregates are bit-identical to
+        # the masked version.
+        cuts = np.searchsorted(times, edges, side="left")
         out = []
-        for lo, hi in zip(edges[:-1], edges[1:]):
-            mask = (times >= lo) & (times < hi)
-            out.append((float(lo), float(agg(values[mask]))))
+        for i in range(len(edges) - 1):
+            out.append(
+                (float(edges[i]), float(agg(values[cuts[i]:cuts[i + 1]])))
+            )
         return out
 
     def value_at(self, t: float) -> float:
@@ -59,6 +69,16 @@ class ClusterMetrics:
     """(step end, tokens generated that step) — bucket_sum/bucket = tok/s."""
     gpu_batch_size: dict[str, TimeSeries] = field(default_factory=dict)
     """Per-GPU (step start, invocation batch size) — Fig 13 lower panel."""
+    adapter_loads: TimeSeries = field(default_factory=TimeSeries)
+    """(time, hit tier) per demand adapter load: 2 GPU, 1 HOST, 0 DISK."""
+    adapter_evictions: TimeSeries = field(default_factory=TimeSeries)
+    """(time, 1) per adapter demoted out of a GPU pool."""
+    prefetch_issues: TimeSeries = field(default_factory=TimeSeries)
+    """(time, 1) per speculative GPU promotion issued."""
+    prefetch_hits: TimeSeries = field(default_factory=TimeSeries)
+    """(time, 1) per prefetched adapter a later demand load actually used."""
+    pcie_busy: TimeSeries = field(default_factory=TimeSeries)
+    """(copy start, copy seconds) per host->GPU transfer — busy time."""
 
     def record_arrival(self, t: float) -> None:
         self.arrivals.record(t, 1.0)
@@ -67,6 +87,44 @@ class ClusterMetrics:
         self.tokens.record(start, float(tokens))
         self.gpu_batch_size.setdefault(gpu_id, TimeSeries()).record(start, float(batch_size))
 
+    # -- adapter lifecycle ------------------------------------------------
+    def record_adapter_load(self, t: float, tier: "Tier | int") -> None:
+        self.adapter_loads.record(t, float(int(tier)))
+
+    def record_adapter_eviction(self, t: float) -> None:
+        self.adapter_evictions.record(t, 1.0)
+
+    def record_prefetch_issue(self, t: float) -> None:
+        self.prefetch_issues.record(t, 1.0)
+
+    def record_prefetch_hit(self, t: float) -> None:
+        self.prefetch_hits.record(t, 1.0)
+
+    def record_pcie_transfer(self, t: float, duration: float) -> None:
+        self.pcie_busy.record(t, float(duration))
+
+    def ingest_adapter_events(self, events) -> None:
+        """Fold store event logs (see
+        :class:`~repro.adapters.store.AdapterEvent`) into the time series.
+
+        Events from several GPU stores interleave arbitrarily; they are
+        sorted here so the monotone-time invariant of each series holds.
+        """
+        for ev in sorted(events):
+            if ev.kind == "load":
+                self.record_adapter_load(ev.time, int(ev.value))
+            elif ev.kind == "evict":
+                self.record_adapter_eviction(ev.time)
+            elif ev.kind == "prefetch_issue":
+                self.record_prefetch_issue(ev.time)
+            elif ev.kind == "prefetch_hit":
+                self.record_prefetch_hit(ev.time)
+            elif ev.kind == "pcie":
+                self.record_pcie_transfer(ev.time, ev.value)
+            else:
+                raise ValueError(f"unknown adapter event kind {ev.kind!r}")
+
+    # -- series -----------------------------------------------------------
     def request_rate_series(self, bucket: float, duration: float):
         return [(t, v / bucket) for t, v in self.arrivals.bucket_sum(bucket, duration)]
 
@@ -77,5 +135,39 @@ class ClusterMetrics:
         series = self.gpu_batch_size.get(gpu_id, TimeSeries())
         return series.bucket_mean(bucket, duration)
 
+    def pcie_utilization_series(self, bucket: float, duration: float):
+        """Fraction of each bucket the host->GPU link spent copying weights."""
+        return [
+            (t, v / bucket) for t, v in self.pcie_busy.bucket_sum(bucket, duration)
+        ]
+
+    # -- summaries ---------------------------------------------------------
     def total_tokens(self) -> float:
         return float(np.sum(self.tokens.values)) if self.tokens.values else 0.0
+
+    def adapter_hit_counts(self) -> dict[str, int]:
+        """Demand loads by the tier that satisfied them."""
+        counts = {"gpu": 0, "host": 0, "disk": 0}
+        names = {Tier.GPU: "gpu", Tier.HOST: "host", Tier.DISK: "disk"}
+        for v in self.adapter_loads.values:
+            counts[names[Tier(int(v))]] += 1
+        return counts
+
+    def adapter_gpu_hit_rate(self) -> float:
+        """Fraction of demand loads that found the adapter GPU-resident."""
+        if not self.adapter_loads.values:
+            return 0.0
+        counts = self.adapter_hit_counts()
+        return counts["gpu"] / len(self.adapter_loads.values)
+
+    def eviction_count(self) -> int:
+        return len(self.adapter_evictions)
+
+    def prefetch_accuracy(self) -> float:
+        """Fraction of speculative promotions a demand load later used."""
+        if not self.prefetch_issues.values:
+            return 0.0
+        return len(self.prefetch_hits) / len(self.prefetch_issues)
+
+    def pcie_busy_seconds(self) -> float:
+        return float(np.sum(self.pcie_busy.values)) if self.pcie_busy.values else 0.0

@@ -32,6 +32,10 @@ class SchedulerConfig:
     routing: str = "pack"
     """"pack" = Punica's largest-working-set rule (§5.1); "spread" = classic
     least-loaded balancing, kept as an ablation of the design choice."""
+    locality_aware: bool = True
+    """Break working-set ties by adapter residency tier (GPU > HOST > DISK)
+    before the highest-UUID rule, so routing prefers GPUs that can skip all
+    or part of the adapter load (CaraServe-style locality)."""
 
     def __post_init__(self) -> None:
         if self.migration_interval <= 0:
@@ -45,7 +49,12 @@ class SchedulerConfig:
 class PunicaScheduler:
     """Routes requests over a pool of engines; owns the FCFS wait queue."""
 
-    def __init__(self, engines: "list", config: SchedulerConfig | None = None):
+    def __init__(
+        self,
+        engines: "list",
+        config: SchedulerConfig | None = None,
+        prefetcher=None,
+    ):
         if not engines:
             raise ValueError("scheduler needs at least one GPU engine")
         ids = [e.gpu_id for e in engines]
@@ -53,6 +62,9 @@ class PunicaScheduler:
             raise ValueError(f"duplicate GPU ids: {ids}")
         self.engines = {e.gpu_id: e for e in engines}
         self.config = config or SchedulerConfig()
+        self.prefetcher = prefetcher
+        """Optional :class:`~repro.adapters.prefetch.Prefetcher` that gets
+        routing hints (queued requests' adapters are staged host-side)."""
         self._queue: list[tuple[float, int, Request]] = []
         self._queue_seq = 0
         self.num_migrations = 0
@@ -99,29 +111,45 @@ class PunicaScheduler:
             )
             self._queue_seq += 1
             self.num_queued_total += 1
+            if self.prefetcher is not None:
+                self.prefetcher.hint_queued(request.lora_id, now)
             return None
         self.engines[gpu].add_request(request, now)
         return gpu
 
-    def _route(self, request: Request) -> "str | None":
-        """§5.1: largest working set among feasible GPUs; ties -> max UUID.
+    def _adapter_locality(self, engine, request: Request) -> int:
+        """Residency tier of the request's adapter on ``engine`` (2 GPU /
+        1 HOST / 0 DISK); 0 when disabled or the engine has no tier view."""
+        if not self.config.locality_aware:
+            return 0
+        tier_of = getattr(engine, "adapter_tier", None)
+        return tier_of(request.lora_id) if tier_of is not None else 0
 
-        Under the "spread" ablation the sign flips to least-loaded-first
-        (ties still -> max UUID), the conventional balancing rule the paper
-        argues against for consolidation.
+    def _route(self, request: Request) -> "str | None":
+        """§5.1: largest working set among feasible GPUs; ties -> adapter
+        locality (GPU-resident beats HOST-staged beats DISK-only), then
+        max UUID.
+
+        Under the "spread" ablation the sign of the load term flips to
+        least-loaded-first (ties still -> locality, then max UUID), the
+        conventional balancing rule the paper argues against for
+        consolidation.
         """
         candidates = [
-            (e.working_set_size, gid)
+            (e.working_set_size, self._adapter_locality(e, request), gid)
             for gid, e in self.engines.items()
             if e.can_accept(request)
         ]
         if not candidates:
             return None
         if self.config.routing == "pack":
-            _, gpu = max(candidates)  # lexicographic: working set, then UUID
+            # lexicographic: working set, then locality, then UUID
+            _, _, gpu = max(candidates)
         else:
-            load = min(ws for ws, _ in candidates)
-            gpu = max(gid for ws, gid in candidates if ws == load)
+            load = min(ws for ws, _, _ in candidates)
+            _, gpu = max(
+                (loc, gid) for ws, loc, gid in candidates if ws == load
+            )
         return gpu
 
     def drain_queue(self, now: float) -> list[str]:
@@ -199,7 +227,7 @@ class PunicaScheduler:
         the source (otherwise migrating would un-consolidate)."""
         source = self.engines[source_id]
         candidates = [
-            (e.working_set_size, gid)
+            (e.working_set_size, self._adapter_locality(e, request), gid)
             for gid, e in self.engines.items()
             if gid != source_id
             and e.working_set_size > source.working_set_size
@@ -207,7 +235,7 @@ class PunicaScheduler:
         ]
         if not candidates:
             return None
-        _, gpu = max(candidates)
+        _, _, gpu = max(candidates)
         return gpu
 
     # ------------------------------------------------------------------

@@ -67,10 +67,26 @@ class ClusterSimulator:
         self,
         engines: "list",
         scheduler_config: SchedulerConfig | None = None,
+        registry=None,
+        prefetcher=None,
     ):
-        self.scheduler = PunicaScheduler(engines, scheduler_config)
+        """``registry`` (an :class:`~repro.adapters.registry.AdapterRegistry`)
+        receives per-adapter arrival feeds for popularity EWMAs;
+        ``prefetcher`` (a :class:`~repro.adapters.prefetch.Prefetcher`) is
+        attached to every engine's loader and ticked periodically."""
+        self.scheduler = PunicaScheduler(engines, scheduler_config, prefetcher)
         self.loop = EventLoop()
         self.metrics = ClusterMetrics()
+        self.registry = registry
+        self.prefetcher = prefetcher
+        if prefetcher is not None:
+            prefetcher.attach(
+                {
+                    gid: e.loader
+                    for gid, e in self.scheduler.engines.items()
+                    if hasattr(e, "loader")
+                }
+            )
         self._requests: dict[str, Request] = {}
         self._gpu_busy: dict[str, bool] = {gid: False for gid in self.scheduler.engines}
         self._pending_arrivals = 0
@@ -84,7 +100,10 @@ class ClusterSimulator:
         cfg = self.scheduler.config
         if cfg.consolidation:
             self.loop.schedule(cfg.migration_interval, self._migration_tick)
+        if self.prefetcher is not None:
+            self.loop.schedule(0.0, self._prefetch_tick)
         end = self.loop.run(until=until)
+        self._drain_adapter_events()
         return SimulationResult(
             duration=end,
             metrics=self.metrics,
@@ -114,11 +133,30 @@ class ClusterSimulator:
         def arrival(now: float) -> None:
             self._pending_arrivals -= 1
             self.metrics.record_arrival(now)
+            if self.registry is not None and req.lora_id in self.registry:
+                self.registry.record_request(req.lora_id, now)
             gpu = self.scheduler.submit(req, now)
             if gpu is not None:
                 self._kick(gpu, now)
 
         return arrival
+
+    def _prefetch_tick(self, now: float) -> None:
+        self.prefetcher.tick(now)
+        if self.work_remaining():
+            self.loop.schedule(
+                now + self.prefetcher.config.interval, self._prefetch_tick
+            )
+
+    def _drain_adapter_events(self) -> None:
+        """Fold every engine loader's adapter event log into the metrics."""
+        events = []
+        for engine in self.scheduler.engines.values():
+            drain = getattr(getattr(engine, "loader", None), "drain_events", None)
+            if drain is not None:
+                events.extend(drain())
+        if events:
+            self.metrics.ingest_adapter_events(events)
 
     def _migration_tick(self, now: float) -> None:
         moved = self.scheduler.consolidate(now)

@@ -76,11 +76,18 @@ class SimulatedBackend:
         kv_capacity_bytes: float | None = None,
         workspace_bytes: float = 2 * GIB,
         step_overhead: float = 0.0005,
+        unified_pool=None,
     ):
         """``kv_capacity_bytes`` defaults to HBM minus the (sharded) backbone
         weights minus a workspace reserve — the paper's "large fraction of
         GPU memory is reserved for KvCache". ``step_overhead`` is the
-        per-invocation host time (scheduling, sampling, token streaming)."""
+        per-invocation host time (scheduling, sampling, token streaming).
+
+        With a :class:`~repro.adapters.pool.UnifiedMemoryPool` as
+        ``unified_pool``, KvCache accounting is delegated to it so KvCache
+        and adapter weights share one byte budget (adapters are demoted to
+        host RAM under KvCache pressure); ``kv_capacity_bytes`` is then
+        ignored — the pool's budget governs."""
         self.config = config
         self.gpu = gpu
         self.tp = tp
@@ -89,6 +96,11 @@ class SimulatedBackend:
         self.serve_lora = serve_lora
         self.step_overhead = step_overhead
         self.cost_model = KernelCostModel(gpu)
+        self.pool = unified_pool
+        if unified_pool is not None:
+            self.kv = unified_pool.kv
+            self._token_counter = 0
+            return
         if kv_capacity_bytes is None:
             weights = config.weight_bytes() // tp.world_size
             kv_capacity_bytes = gpu.hbm_capacity - weights - workspace_bytes
@@ -109,22 +121,37 @@ class SimulatedBackend:
 
     # -- KvCache interface ------------------------------------------------
     def kv_can_admit(self, prompt_len: int, headroom_tokens: int = 0) -> bool:
+        if self.pool is not None:
+            return self.pool.kv_can_admit(prompt_len, headroom_tokens)
         return self.kv.can_admit(prompt_len, headroom_tokens)
 
     def kv_admit(self, request_id: str, prompt_len: int) -> None:
+        if self.pool is not None:
+            self.pool.kv_admit(request_id, prompt_len)
+            return
         self.kv.allocate(request_id, prompt_len)
 
     def kv_can_append(self, request_id: str) -> bool:
+        if self.pool is not None:
+            return self.pool.kv_can_append(request_id)
         return self.kv.can_append_token(request_id)
 
     def kv_append(self, request_id: str) -> None:
+        if self.pool is not None:
+            self.pool.kv_append(request_id)
+            return
         self.kv.append_token(request_id)
 
     def kv_release(self, request_id: str) -> None:
+        if self.pool is not None:
+            self.pool.kv_release(request_id)
+            return
         if request_id in self.kv:
             self.kv.free(request_id)
 
     def kv_free_tokens(self) -> int:
+        if self.pool is not None:
+            return self.pool.kv_free_tokens()
         return self.kv.free_tokens
 
     # -- execution ----------------------------------------------------------

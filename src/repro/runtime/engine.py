@@ -115,16 +115,35 @@ class GpuEngine:
         return {s.request.lora_id for s in slots}
 
     def can_accept(self, request: Request) -> bool:
-        """Admission test the cluster scheduler runs (§5.1 constraints)."""
+        """Admission test the cluster scheduler runs (§5.1 constraints).
+
+        Besides batch-size and KvCache headroom, the request's adapter must
+        fit: a non-resident adapter's bytes count against the (possibly
+        KvCache-shared) memory budget, so a GPU whose pinned adapters leave
+        no room declines rather than failing the load later.
+        """
         if self.working_set_size >= self.config.max_batch_size:
             return False
         if self.config.same_lora_only:
             active = self.active_lora_ids()
             if active and request.lora_id not in active:
                 return False
+        if not self.loader.can_admit_adapter(
+            request.lora_id, self._default_lora_bytes()
+        ):
+            return False
         return self.backend.kv_can_admit(
             request.effective_prompt_len, self.config.admission_headroom_tokens
         )
+
+    def adapter_tier(self, lora_id: str) -> int:
+        """Residency tier of an adapter on this GPU (2 GPU / 1 HOST / 0 DISK)
+        — the locality signal the cluster scheduler's routing consults."""
+        return int(self.loader.tier(lora_id))
+
+    def _default_lora_bytes(self) -> float:
+        """Fallback adapter size when the registry has no metadata."""
+        return float(self.backend.config.lora_bytes(self.backend.lora_rank))
 
     def all_requests(self) -> list[Request]:
         """Every request currently on this GPU (working + pending), in
@@ -162,8 +181,7 @@ class GpuEngine:
                 f"(working set {self.working_set_size}, "
                 f"free kv tokens {self.kv_free_tokens()})"
             )
-        nbytes = self.backend.config.lora_bytes(self.backend.lora_rank)
-        self.loader.request_load(request.lora_id, nbytes, now)
+        self.loader.request_load(request.lora_id, self._default_lora_bytes(), now)
         self.loader.acquire(request.lora_id, now)
         request.needs_prefill = True
         request.mark_running(self.gpu_id, now)
@@ -197,6 +215,7 @@ class GpuEngine:
     # ------------------------------------------------------------------
     def step(self, now: float) -> StepReport | None:
         """Run one batched invocation; ``None`` when nothing can run."""
+        self.loader.advance(now)
         # Reserve one new KvCache slot per decode request FIRST (evicting
         # newest requests on pressure), so prefill admission below can only
         # use pages genuinely left over.

@@ -4,107 +4,113 @@ When a request whose LoRA model is not yet on the GPU arrives, the engine
 issues an asynchronous host-to-device copy and keeps running the current
 batch; the request joins only after the copy completes ("the weight already
 finished loading ... the new request is able to join the batch naturally").
-The loader tracks residency, in-flight transfers, per-model reference
-counts, and — optionally — evicts unreferenced models LRU when a byte
-budget is exceeded.
+
+:class:`LoraLoader` is the engine-facing API; since the adapter lifecycle
+subsystem landed it is a thin shim over
+:class:`~repro.adapters.store.GpuAdapterStore`, which adds registry-aware
+tiering (DISK -> HOST -> GPU), prefetch marks, and shared-budget hooks the
+:class:`~repro.adapters.pool.UnifiedMemoryPool` uses. Constructed bare (no
+registry), it behaves exactly like the original standalone loader: every
+adapter is assumed host-resident, residency is a flat per-GPU set, and an
+optional ``capacity_bytes`` budget is enforced by LRU eviction of
+unreferenced, fully-loaded models.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.hw.pcie import PCIE_GEN4_X16, PcieSpec, TransferPlan, plan_transfer
-
-
-@dataclass
-class _Resident:
-    nbytes: float
-    plan: TransferPlan
-    refcount: int = 0
-    last_used: float = 0.0
+from repro.adapters.registry import AdapterRegistry, Tier
+from repro.adapters.store import AdapterEvent, GpuAdapterStore
+from repro.hw.pcie import PCIE_GEN4_X16, PcieSpec, TransferPlan
 
 
 class LoraLoader:
-    """Tracks which LoRA models are resident on one GPU."""
+    """Tracks which LoRA models are resident on one GPU (thin shim)."""
 
     def __init__(
         self,
         pcie: PcieSpec = PCIE_GEN4_X16,
-        capacity_bytes: float | None = None,
+        capacity_bytes: "float | None" = None,
+        registry: "AdapterRegistry | None" = None,
+        gpu_id: str = "gpu0",
     ):
-        if capacity_bytes is not None and capacity_bytes <= 0:
-            raise ValueError(f"capacity_bytes must be positive, got {capacity_bytes}")
-        self.pcie = pcie
-        self.capacity_bytes = capacity_bytes
-        self._models: dict[str, _Resident] = {}
+        self._store = GpuAdapterStore(
+            pcie=pcie,
+            capacity_bytes=capacity_bytes,
+            registry=registry,
+            gpu_id=gpu_id,
+        )
+
+    @property
+    def store(self) -> GpuAdapterStore:
+        """The underlying adapter store (the subsystem's real state)."""
+        return self._store
+
+    @property
+    def pcie(self) -> PcieSpec:
+        return self._store.pcie
+
+    @property
+    def capacity_bytes(self) -> "float | None":
+        return self._store.capacity_bytes
+
+    @property
+    def registry(self) -> "AdapterRegistry | None":
+        return self._store.registry
+
+    @property
+    def num_evictions(self) -> int:
+        return self._store.num_evictions
 
     # -- queries ---------------------------------------------------------
     def is_resident(self, lora_id: str) -> bool:
         """Known to the loader (copy may still be in flight)."""
-        return lora_id in self._models
+        return self._store.is_resident(lora_id)
 
     def is_ready(self, lora_id: str, now: float) -> bool:
         """Resident *and* the async copy has completed by ``now``."""
-        entry = self._models.get(lora_id)
-        return entry is not None and entry.plan.done_by(now)
+        return self._store.is_ready(lora_id, now)
 
     def ready_time(self, lora_id: str) -> float:
         """When the model's copy finishes (raises if never requested)."""
-        return self._require(lora_id).plan.finish
+        return self._store.ready_time(lora_id)
 
     def used_bytes(self) -> float:
-        return sum(e.nbytes for e in self._models.values())
+        return self._store.used_bytes()
 
     def resident_models(self) -> list[str]:
-        return list(self._models)
+        return self._store.resident_models()
+
+    def tier(self, lora_id: str) -> Tier:
+        """This GPU's view of the adapter's residency tier."""
+        return self._store.tier(lora_id)
+
+    def pcie_idle(self, now: float) -> bool:
+        return self._store.pcie_idle(now)
 
     # -- loading ---------------------------------------------------------
+    def advance(self, now: float) -> None:
+        self._store.advance(now)
+
     def request_load(self, lora_id: str, nbytes: float, now: float) -> TransferPlan:
         """Ensure ``lora_id`` is (being) loaded; idempotent.
 
         Returns the transfer plan governing when it becomes usable. A
         repeated request returns the existing plan without a new copy.
         """
-        entry = self._models.get(lora_id)
-        if entry is not None:
-            entry.last_used = now
-            return entry.plan
-        self._maybe_evict(nbytes, now)
-        plan = plan_transfer(self.pcie, nbytes, start=now)
-        self._models[lora_id] = _Resident(nbytes=nbytes, plan=plan, last_used=now)
-        return plan
+        return self._store.request_load(lora_id, nbytes, now)
+
+    def prefetch(self, lora_id: str, now: float, nbytes: "float | None" = None) -> bool:
+        return self._store.prefetch(lora_id, now, nbytes)
+
+    def can_admit_adapter(self, lora_id: str, nbytes: float) -> bool:
+        return self._store.can_admit_adapter(lora_id, nbytes)
 
     def acquire(self, lora_id: str, now: float) -> None:
         """Pin a model while a request using it is in the working set."""
-        entry = self._require(lora_id)
-        entry.refcount += 1
-        entry.last_used = now
+        self._store.acquire(lora_id, now)
 
     def release(self, lora_id: str) -> None:
-        entry = self._require(lora_id)
-        if entry.refcount <= 0:
-            raise RuntimeError(f"release of unacquired LoRA model {lora_id!r}")
-        entry.refcount -= 1
+        self._store.release(lora_id)
 
-    def _maybe_evict(self, incoming_bytes: float, now: float) -> None:
-        if self.capacity_bytes is None:
-            return
-        while self.used_bytes() + incoming_bytes > self.capacity_bytes:
-            victims = [
-                (e.last_used, lid)
-                for lid, e in self._models.items()
-                if e.refcount == 0 and e.plan.done_by(now)
-            ]
-            if not victims:
-                raise MemoryError(
-                    f"cannot fit {incoming_bytes} bytes of LoRA weights: "
-                    f"{self.used_bytes()} resident, all pinned"
-                )
-            _, victim = min(victims)
-            del self._models[victim]
-
-    def _require(self, lora_id: str) -> _Resident:
-        try:
-            return self._models[lora_id]
-        except KeyError:
-            raise KeyError(f"LoRA model {lora_id!r} was never loaded") from None
+    def drain_events(self) -> list[AdapterEvent]:
+        return self._store.drain_events()

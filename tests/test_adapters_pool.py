@@ -1,0 +1,145 @@
+"""Tests for the unified KvCache + adapter memory pool, including the
+property test of the shared-budget invariant (DESIGN.md §7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adapters.pool import UnifiedMemoryPool
+from repro.adapters.registry import AdapterRegistry, Tier
+
+CAPACITY = 64.0
+PAGE_SIZE = 4
+BYTES_PER_TOKEN = 1
+
+ADAPTERS = {"r8": (8, 8.0), "r16": (16, 16.0), "r32": (32, 24.0)}
+"""Mixed-rank adapters: lora_id -> (rank, nbytes)."""
+
+
+def make_pool(capacity=CAPACITY) -> UnifiedMemoryPool:
+    reg = AdapterRegistry()
+    for lid, (rank, nbytes) in ADAPTERS.items():
+        reg.register(lid, rank=rank, nbytes=nbytes)
+    return UnifiedMemoryPool(
+        capacity_bytes=capacity,
+        page_size=PAGE_SIZE,
+        bytes_per_token=BYTES_PER_TOKEN,
+        registry=reg,
+    )
+
+
+class TestSharedAccounting:
+    def test_totals_split(self):
+        pool = make_pool()
+        pool.kv_admit("s0", 8)  # 2 pages = 8 bytes
+        pool.request_load("r16", 16.0, now=0.0)
+        assert pool.kv_used_bytes() == 8.0
+        assert pool.adapter_used_bytes() == 16.0
+        assert pool.total_used_bytes() == 24.0
+        assert pool.free_bytes() == CAPACITY - 24.0
+        pool.check_invariant()
+
+    def test_kv_admission_respects_pinned_adapters(self):
+        pool = make_pool(capacity=32.0)
+        pool.request_load("r32", 24.0, now=0.0)
+        pool.acquire("r32", now=0.0)
+        assert not pool.kv_can_admit(12)  # 3 pages won't fit next to 24 pinned
+        with pytest.raises(MemoryError):
+            pool.kv_admit("s0", 12)
+
+    def test_kv_admission_reclaims_unpinned_adapters(self):
+        pool = make_pool(capacity=32.0)
+        pool.request_load("r32", 24.0, now=0.0)
+        pool.advance(100.0)  # transfer settled; adapter unpinned
+        assert pool.kv_can_admit(12)
+        pool.kv_admit("s0", 12)  # demotes the adapter to HOST
+        assert not pool.is_resident("r32")
+        assert pool.adapters.registry.tier("r32") is Tier.HOST
+        pool.check_invariant()
+
+    def test_kv_append_page_boundary_reclaims(self):
+        pool = make_pool(capacity=32.0)
+        pool.kv_admit("s0", 4)  # exactly one full page
+        pool.request_load("r16", 16.0, now=0.0)
+        pool.advance(100.0)
+        assert pool.kv_can_append("s0")  # next token needs a page: reclaimable
+        pool.kv_append("s0")
+        pool.check_invariant()
+
+    def test_kv_free_tokens_counts_evictable_adapters(self):
+        pool = make_pool(capacity=32.0)
+        pool.request_load("r16", 16.0, now=0.0)
+        pool.advance(100.0)
+        assert pool.kv_free_tokens() == 32  # unpinned adapter counts as free
+        pool.acquire("r16", now=100.0)
+        assert pool.kv_free_tokens() == 16  # pinned bytes are off-limits
+
+    def test_adapter_load_respects_kv_usage(self):
+        pool = make_pool(capacity=32.0)
+        pool.kv_admit("s0", 20)  # 5 pages = 20 bytes
+        assert not pool.can_admit_adapter("r32", 24.0)
+        with pytest.raises(MemoryError):
+            pool.request_load("r32", 24.0, now=0.0)
+        pool.kv_release("s0")
+        pool.request_load("r32", 24.0, now=1.0)
+        pool.check_invariant()
+
+
+# -- property test -------------------------------------------------------
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("load"), st.sampled_from(sorted(ADAPTERS))),
+        st.tuples(st.just("acquire"), st.sampled_from(sorted(ADAPTERS))),
+        st.tuples(st.just("release"), st.sampled_from(sorted(ADAPTERS))),
+        st.tuples(st.just("prefetch"), st.sampled_from(sorted(ADAPTERS))),
+        st.tuples(st.just("kv_admit"), st.integers(0, 3), st.integers(1, 24)),
+        st.tuples(st.just("kv_append"), st.integers(0, 3)),
+        st.tuples(st.just("kv_release"), st.integers(0, 3)),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=_ops)
+def test_gpu_bytes_never_exceed_unified_budget(ops):
+    """Random load/evict/prefetch/KV sequences at mixed ranks never push
+    KvCache + adapter bytes past the shared budget."""
+    pool = make_pool()
+    held: dict[str, int] = {lid: 0 for lid in ADAPTERS}
+    now = 0.0
+    for op in ops:
+        now += 0.5
+        pool.advance(now)
+        kind = op[0]
+        if kind == "load":
+            lid = op[1]
+            try:
+                pool.request_load(lid, ADAPTERS[lid][1], now)
+            except MemoryError:
+                pass  # budget full of pinned state: correct refusal
+        elif kind == "acquire":
+            lid = op[1]
+            if pool.is_resident(lid):
+                pool.acquire(lid, now)
+                held[lid] += 1
+        elif kind == "release":
+            lid = op[1]
+            if held[lid] > 0:
+                pool.release(lid)
+                held[lid] -= 1
+        elif kind == "prefetch":
+            pool.prefetch(op[1], now)
+        elif kind == "kv_admit":
+            seq, tokens = f"s{op[1]}", op[2]
+            if seq not in pool.kv and pool.kv_can_admit(tokens):
+                pool.kv_admit(seq, tokens)
+        elif kind == "kv_append":
+            seq = f"s{op[1]}"
+            if seq in pool.kv and pool.kv_can_append(seq):
+                pool.kv_append(seq)
+        elif kind == "kv_release":
+            pool.kv_release(f"s{op[1]}")
+        pool.check_invariant()
+        assert pool.adapter_used_bytes() + pool.kv_used_bytes() <= CAPACITY

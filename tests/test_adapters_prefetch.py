@@ -1,0 +1,107 @@
+"""Tests for the popularity-driven adapter prefetcher."""
+
+import pytest
+
+from repro.adapters.prefetch import PrefetchConfig, Prefetcher
+from repro.adapters.registry import AdapterRegistry, HostTierSpec
+from repro.adapters.store import GpuAdapterStore
+from repro.utils.units import MB
+
+
+def make_setup(n_adapters=4, capacity=200 * MB, host=None):
+    reg = AdapterRegistry(host=host or HostTierSpec())
+    for i in range(n_adapters):
+        # lora-0 hottest, descending priors.
+        reg.register(f"lora-{i}", rank=16, nbytes=40 * MB,
+                     prior_rate=float(n_adapters - i))
+    store = GpuAdapterStore(registry=reg, capacity_bytes=capacity, gpu_id="gpu0")
+    return reg, store
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchConfig(interval=0.0)
+        with pytest.raises(ValueError):
+            PrefetchConfig(host_topk=-1)
+        with pytest.raises(ValueError):
+            PrefetchConfig(min_rate=-0.1)
+
+
+class TestStaging:
+    def test_tick_stages_hottest(self):
+        reg, store = make_setup(n_adapters=6)
+        pf = Prefetcher(reg, PrefetchConfig(host_topk=3, gpu_topk=0))
+        staged, promoted = pf.tick(0.0)
+        assert staged == 3 and promoted == 0
+        assert sorted(reg.host_resident_adapters()) == [
+            "lora-0", "lora-1", "lora-2"
+        ]
+
+    def test_min_rate_filters_cold_adapters(self):
+        reg, _ = make_setup(n_adapters=3)  # prior rates 3, 2, 1
+        pf = Prefetcher(reg, PrefetchConfig(host_topk=8, min_rate=1.5))
+        staged, _ = pf.tick(0.0)
+        assert staged == 2  # lora-2 (rate 1) stays on disk
+
+    def test_full_pinned_host_tier_backs_off(self):
+        host = HostTierSpec(capacity_bytes=40 * MB)
+        reg, _ = make_setup(n_adapters=2, host=host)
+        reg.ensure_host("lora-1", now=0.0)
+        reg.note_gpu_resident("lora-1", "elsewhere")  # pins the only slot
+        pf = Prefetcher(reg, PrefetchConfig(host_topk=2, gpu_topk=0))
+        staged, _ = pf.tick(100.0)  # must not raise
+        assert staged == 0
+
+
+class TestPromotion:
+    def test_promotes_settled_host_copies_into_free_bytes(self):
+        reg, store = make_setup()
+        pf = Prefetcher(reg, PrefetchConfig(host_topk=4, gpu_topk=2))
+        pf.attach({"gpu0": store})
+        pf.tick(0.0)  # stages; host copies still in flight -> no promotion
+        assert store.resident_models() == []
+        _, promoted = pf.tick(10.0)  # settled now
+        assert promoted == 2
+        assert sorted(store.resident_models()) == ["lora-0", "lora-1"]
+        assert pf.num_promoted == 2
+
+    def test_respects_busy_pcie(self):
+        reg, store = make_setup()
+        reg.ensure_host("lora-3", now=-100.0)
+        store.request_load("lora-3", 40 * MB, now=0.0)  # demand copy in flight
+        pf = Prefetcher(reg, PrefetchConfig(host_topk=4, gpu_topk=2))
+        pf.attach({"gpu0": store})
+        for lid in ("lora-0", "lora-1"):
+            reg.ensure_host(lid, now=-100.0)
+        _, promoted = pf.tick(0.0)
+        assert promoted == 0  # the link belongs to the demand load
+
+    def test_promotion_never_evicts(self):
+        reg, store = make_setup(capacity=60 * MB)
+        store.request_load("lora-3", 40 * MB, now=0.0)
+        store.advance(100.0)
+        for lid in ("lora-0", "lora-1"):
+            reg.ensure_host(lid, now=-100.0)
+        pf = Prefetcher(reg, PrefetchConfig(host_topk=2, gpu_topk=2))
+        pf.attach({"gpu0": store})
+        _, promoted = pf.tick(200.0)
+        assert promoted == 0  # 40 MB adapters don't fit in 20 MB free
+        assert store.is_resident("lora-3")
+
+
+class TestHints:
+    def test_hint_stages_queued_adapter(self):
+        reg, _ = make_setup()
+        pf = Prefetcher(reg)
+        pf.hint_queued("lora-3", now=1.0)
+        assert reg.host_resident("lora-3")
+        assert pf.num_hints == 1
+
+    def test_hint_idempotent_and_ignores_unknown(self):
+        reg, _ = make_setup()
+        pf = Prefetcher(reg)
+        pf.hint_queued("lora-3", now=1.0)
+        pf.hint_queued("lora-3", now=2.0)  # already staged
+        pf.hint_queued("unregistered", now=3.0)  # silently ignored
+        assert pf.num_hints == 1

@@ -1,0 +1,189 @@
+"""Tests for the tiered adapter registry (metadata, popularity, residency)."""
+
+import pytest
+
+from repro.adapters.registry import (
+    AdapterRegistry,
+    HostTierSpec,
+    Tier,
+    register_trace_adapters,
+)
+from repro.models.config import LLAMA2_7B
+from repro.utils.units import MB
+from repro.workloads.trace import generate_trace
+
+
+class TestHostTierSpec:
+    def test_staging_time(self):
+        host = HostTierSpec(bandwidth=1e9, latency=0.001)
+        assert host.staging_time(1e9) == pytest.approx(1.001)
+        assert host.staging_time(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostTierSpec(bandwidth=0)
+        with pytest.raises(ValueError):
+            HostTierSpec(capacity_bytes=0)
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        reg = AdapterRegistry()
+        meta = reg.register("a", rank=16, nbytes=80 * MB)
+        assert reg.get("a") is meta
+        assert "a" in reg and len(reg) == 1
+
+    def test_nbytes_from_config(self):
+        reg = AdapterRegistry()
+        meta = reg.register("a", rank=16, config=LLAMA2_7B)
+        assert meta.nbytes == float(LLAMA2_7B.lora_bytes(16))
+
+    def test_idempotent_identical(self):
+        reg = AdapterRegistry()
+        m1 = reg.register("a", rank=16, nbytes=80 * MB)
+        m2 = reg.register("a", rank=16, nbytes=80 * MB)
+        assert m1 is m2
+
+    def test_conflicting_reregistration_rejected(self):
+        reg = AdapterRegistry()
+        reg.register("a", rank=16, nbytes=80 * MB)
+        with pytest.raises(ValueError):
+            reg.register("a", rank=32, nbytes=80 * MB)
+
+    def test_unknown_adapter(self):
+        with pytest.raises(KeyError):
+            AdapterRegistry().get("ghost")
+
+    def test_needs_nbytes_or_config(self):
+        with pytest.raises(ValueError):
+            AdapterRegistry().register("a", rank=16)
+
+
+class TestPopularity:
+    def test_ewma_rate_tracks_arrivals(self):
+        reg = AdapterRegistry(ewma_alpha=1.0)  # no smoothing: rate = 1/gap
+        reg.register("a", rank=16, nbytes=1 * MB)
+        reg.record_request("a", 0.0)
+        reg.record_request("a", 0.5)
+        assert reg.get("a").rate(0.5) == pytest.approx(2.0)
+
+    def test_rate_decays_with_staleness(self):
+        reg = AdapterRegistry(ewma_alpha=1.0)
+        reg.register("a", rank=16, nbytes=1 * MB)
+        reg.record_request("a", 0.0)
+        reg.record_request("a", 0.5)
+        # 10s of silence: the effective interval is the 10s gap, not 0.5s.
+        assert reg.get("a").rate(10.5) == pytest.approx(0.1)
+
+    def test_hot_adapters_ordering(self):
+        reg = AdapterRegistry(ewma_alpha=1.0)
+        for lid in ("slow", "fast"):
+            reg.register(lid, rank=16, nbytes=1 * MB)
+        for t in (0.0, 2.0):
+            reg.record_request("slow", t)
+        for t in (0.0, 0.5, 1.0, 1.5, 2.0):
+            reg.record_request("fast", t)
+        hot = reg.hot_adapters(2.0)
+        assert [m.lora_id for m in hot] == ["fast", "slow"]
+
+    def test_prior_rate_seeds_ewma(self):
+        reg = AdapterRegistry()
+        reg.register("a", rank=16, nbytes=1 * MB, prior_rate=4.0)
+        assert reg.get("a").rate(0.0) == pytest.approx(4.0)
+
+    def test_never_requested_rate_zero(self):
+        reg = AdapterRegistry()
+        reg.register("a", rank=16, nbytes=1 * MB)
+        assert reg.get("a").rate(100.0) == 0.0
+
+
+class TestTierStateMachine:
+    def test_starts_on_disk(self):
+        reg = AdapterRegistry()
+        reg.register("a", rank=16, nbytes=1 * MB)
+        assert reg.tier("a") is Tier.DISK
+
+    def test_ensure_host_promotes_and_prices(self):
+        reg = AdapterRegistry()
+        reg.register("a", rank=16, nbytes=30 * MB)
+        ready = reg.ensure_host("a", now=1.0)
+        assert reg.tier("a") is Tier.HOST
+        assert ready == pytest.approx(1.0 + reg.host.staging_time(30 * MB))
+
+    def test_ensure_host_idempotent(self):
+        reg = AdapterRegistry()
+        reg.register("a", rank=16, nbytes=30 * MB)
+        r1 = reg.ensure_host("a", now=0.0)
+        r2 = reg.ensure_host("a", now=5.0)  # already staged: no new read
+        assert r1 == r2
+
+    def test_gpu_notes_drive_tier(self):
+        reg = AdapterRegistry()
+        reg.register("a", rank=16, nbytes=1 * MB)
+        reg.ensure_host("a", now=0.0)
+        reg.note_gpu_resident("a", "gpu0")
+        assert reg.tier("a") is Tier.GPU
+        assert reg.tier("a", gpu_id="gpu0") is Tier.GPU
+        assert reg.tier("a", gpu_id="gpu1") is Tier.HOST
+        reg.note_gpu_evicted("a", "gpu0")
+        assert reg.tier("a") is Tier.HOST
+
+    def test_drop_host_demotes(self):
+        reg = AdapterRegistry()
+        reg.register("a", rank=16, nbytes=1 * MB)
+        reg.ensure_host("a", now=0.0)
+        reg.drop_host("a")
+        assert reg.tier("a") is Tier.DISK
+
+
+class TestHostEviction:
+    def _bounded(self, slots: int) -> AdapterRegistry:
+        return AdapterRegistry(host=HostTierSpec(capacity_bytes=slots * 10 * MB))
+
+    def test_lru_eviction(self):
+        reg = self._bounded(2)
+        for lid in ("a", "b", "c"):
+            reg.register(lid, rank=16, nbytes=10 * MB)
+        reg.ensure_host("a", now=0.0)
+        reg.ensure_host("b", now=1.0)
+        reg.ensure_host("c", now=10.0)  # evicts "a" (LRU, settled by now)
+        assert not reg.host_resident("a")
+        assert reg.host_resident("b") and reg.host_resident("c")
+        assert reg.host_evictions == 1
+
+    def test_gpu_pinned_never_evicted(self):
+        reg = self._bounded(1)
+        reg.register("pinned", rank=16, nbytes=10 * MB)
+        reg.register("other", rank=16, nbytes=10 * MB)
+        reg.ensure_host("pinned", now=0.0)
+        reg.note_gpu_resident("pinned", "gpu0")
+        with pytest.raises(MemoryError):
+            reg.ensure_host("other", now=100.0)
+
+    def test_in_flight_read_never_evicted(self):
+        reg = self._bounded(1)
+        reg.register("a", rank=16, nbytes=10 * MB)
+        reg.register("b", rank=16, nbytes=10 * MB)
+        reg.ensure_host("a", now=0.0)
+        with pytest.raises(MemoryError):
+            reg.ensure_host("b", now=0.0)  # a's disk read still in flight
+
+    def test_oversized_adapter_clear_error(self):
+        reg = self._bounded(1)
+        reg.register("big", rank=16, nbytes=100 * MB)
+        with pytest.raises(MemoryError, match="never fit"):
+            reg.ensure_host("big", now=0.0)
+
+
+class TestTraceRegistration:
+    def test_registers_all_trace_adapters_with_priors(self):
+        trace = generate_trace(50, "skewed", seed=0)
+        reg = AdapterRegistry()
+        metas = register_trace_adapters(reg, trace, LLAMA2_7B)
+        assert len(reg) == trace.num_lora_models == len(metas)
+        # The most popular adapter has the highest seeded rate.
+        hot = reg.hot_adapters(0.0, limit=1)
+        counts = {}
+        for spec in trace:
+            counts[spec.lora_id] = counts.get(spec.lora_id, 0) + 1
+        assert hot[0].lora_id == max(counts, key=counts.get)

@@ -1,0 +1,177 @@
+"""Tests for the per-GPU adapter store (GPU tier of the residency ladder)."""
+
+import pytest
+
+from repro.adapters.registry import AdapterRegistry, HostTierSpec, Tier
+from repro.adapters.store import GpuAdapterStore
+from repro.hw.pcie import PCIE_GEN4_X16
+from repro.utils.units import MB
+
+
+def make_registry(*ids, nbytes=40 * MB, host=None):
+    reg = AdapterRegistry(host=host or HostTierSpec())
+    for lid in ids:
+        reg.register(lid, rank=16, nbytes=nbytes)
+    return reg
+
+
+class TestTieredLoading:
+    def test_disk_load_chains_staging_and_pcie(self):
+        reg = make_registry("a")
+        store = GpuAdapterStore(registry=reg)
+        plan = store.request_load("a", 40 * MB, now=1.0)
+        expected = (
+            1.0 + reg.host.staging_time(40 * MB)
+            + PCIE_GEN4_X16.transfer_time(40 * MB)
+        )
+        assert plan.finish == pytest.approx(expected)
+
+    def test_host_load_pays_only_pcie(self):
+        reg = make_registry("a")
+        reg.ensure_host("a", now=0.0)
+        store = GpuAdapterStore(registry=reg)
+        now = reg.host_ready("a") + 1.0  # staging settled
+        plan = store.request_load("a", 40 * MB, now=now)
+        assert plan.finish == pytest.approx(
+            now + PCIE_GEN4_X16.transfer_time(40 * MB)
+        )
+
+    def test_registry_overrides_caller_nbytes(self):
+        reg = make_registry("a", nbytes=80 * MB)
+        store = GpuAdapterStore(registry=reg)
+        store.request_load("a", 1 * MB, now=0.0)  # caller guesses wrong
+        assert store.used_bytes() == 80 * MB
+
+    def test_load_notes_gpu_residency(self):
+        reg = make_registry("a")
+        store = GpuAdapterStore(registry=reg, gpu_id="gpuX")
+        store.request_load("a", 40 * MB, now=0.0)
+        assert reg.tier("a", gpu_id="gpuX") is Tier.GPU
+
+    def test_hit_tier_events(self):
+        reg = make_registry("a", "b")
+        reg.ensure_host("b", now=-10.0)
+        store = GpuAdapterStore(registry=reg)
+        store.request_load("a", 40 * MB, now=0.0)   # DISK source
+        store.request_load("b", 40 * MB, now=0.0)   # HOST source
+        store.request_load("a", 40 * MB, now=50.0)  # resident: GPU hit
+        loads = [e for e in store.drain_events() if e.kind == "load"]
+        assert [int(e.value) for e in loads] == [Tier.DISK, Tier.HOST, Tier.GPU]
+
+    def test_streams_through_when_host_tier_pinned_full(self):
+        host = HostTierSpec(capacity_bytes=40 * MB)
+        reg = make_registry("a", "b", host=host)
+        reg.ensure_host("a", now=0.0)
+        reg.note_gpu_resident("a", "other-gpu")  # pins the only host slot
+        store = GpuAdapterStore(registry=reg)
+        plan = store.request_load("b", 40 * MB, now=100.0)
+        # Paid the disk leg via a bounce buffer; no host slot taken.
+        assert plan.finish == pytest.approx(
+            100.0 + reg.host.staging_time(40 * MB)
+            + PCIE_GEN4_X16.transfer_time(40 * MB)
+        )
+        assert not reg.host_resident("b")
+
+
+class TestPrefetch:
+    def test_prefetch_into_free_bytes(self):
+        reg = make_registry("a")
+        reg.ensure_host("a", now=-10.0)
+        store = GpuAdapterStore(registry=reg, capacity_bytes=100 * MB)
+        assert store.prefetch("a", now=0.0)
+        assert store.is_resident("a")
+        issues = [e for e in store.drain_events() if e.kind == "prefetch_issue"]
+        assert len(issues) == 1
+
+    def test_prefetch_never_evicts(self):
+        reg = make_registry("old", "new", nbytes=60 * MB)
+        store = GpuAdapterStore(registry=reg, capacity_bytes=100 * MB)
+        store.request_load("old", 60 * MB, now=0.0)
+        assert not store.prefetch("new", now=100.0)  # would need eviction
+        assert store.is_resident("old")
+
+    def test_prefetch_resident_noop(self):
+        reg = make_registry("a")
+        store = GpuAdapterStore(registry=reg)
+        store.request_load("a", 40 * MB, now=0.0)
+        assert not store.prefetch("a", now=1.0)
+
+    def test_demand_hit_on_prefetched_entry_counts(self):
+        reg = make_registry("a")
+        reg.ensure_host("a", now=-10.0)
+        store = GpuAdapterStore(registry=reg, capacity_bytes=100 * MB)
+        store.prefetch("a", now=0.0)
+        store.request_load("a", 40 * MB, now=1.0)
+        store.request_load("a", 40 * MB, now=2.0)  # second hit doesn't recount
+        hits = [e for e in store.drain_events() if e.kind == "prefetch_hit"]
+        assert len(hits) == 1
+
+    def test_prefetch_without_metadata_rejected(self):
+        store = GpuAdapterStore()
+        with pytest.raises(ValueError):
+            store.prefetch("ghost", now=0.0)
+
+
+class TestSharedBudget:
+    def test_external_usage_counts_against_capacity(self):
+        reg = make_registry("a", nbytes=60 * MB)
+        store = GpuAdapterStore(
+            registry=reg, capacity_bytes=100 * MB, external_used=lambda: 50 * MB
+        )
+        assert not store.can_admit_adapter("a", 60 * MB)
+        with pytest.raises(MemoryError):
+            store.request_load("a", 60 * MB, now=0.0)
+
+    def test_reclaim_evicts_unpinned(self):
+        reg = make_registry("a", "b", nbytes=30 * MB)
+        store = GpuAdapterStore(registry=reg, capacity_bytes=100 * MB)
+        store.request_load("a", 30 * MB, now=0.0)
+        store.request_load("b", 30 * MB, now=1.0)
+        store.advance(10.0)  # both transfers settled
+        assert store.reclaim(80 * MB)
+        assert store.used_bytes() <= 20 * MB
+
+    def test_reclaim_fails_on_pinned(self):
+        reg = make_registry("a", nbytes=30 * MB)
+        store = GpuAdapterStore(registry=reg, capacity_bytes=100 * MB)
+        store.request_load("a", 30 * MB, now=0.0)
+        store.acquire("a", now=0.0)
+        store.advance(10.0)
+        assert not store.reclaim(90 * MB)
+        assert store.is_resident("a")
+
+    def test_eviction_demotes_to_host_not_disk(self):
+        reg = make_registry("old", "new", nbytes=60 * MB)
+        store = GpuAdapterStore(registry=reg, capacity_bytes=100 * MB)
+        store.request_load("old", 60 * MB, now=0.0)
+        store.request_load("new", 60 * MB, now=100.0)  # evicts "old"
+        assert not store.is_resident("old")
+        assert reg.tier("old") is Tier.HOST  # host copy survives the demotion
+
+
+class TestSerializedPcie:
+    def test_transfers_queue_on_the_link(self):
+        store = GpuAdapterStore(serialize_pcie=True)
+        p1 = store.request_load("a", 40 * MB, now=0.0)
+        p2 = store.request_load("b", 40 * MB, now=0.0)
+        assert p2.finish == pytest.approx(
+            p1.finish + PCIE_GEN4_X16.transfer_time(40 * MB)
+        )
+
+    def test_pcie_idle(self):
+        store = GpuAdapterStore()
+        assert store.pcie_idle(0.0)
+        plan = store.request_load("a", 40 * MB, now=0.0)
+        assert not store.pcie_idle(0.0)
+        assert store.pcie_idle(plan.finish)
+
+
+class TestOversizedAdapter:
+    def test_clear_error_without_needless_eviction(self):
+        store = GpuAdapterStore(capacity_bytes=100 * MB)
+        store.request_load("small", 10 * MB, now=0.0)
+        with pytest.raises(MemoryError, match="never fit"):
+            store.request_load("big", 200 * MB, now=100.0)
+        # The error came before any eviction, not after draining the cache.
+        assert store.is_resident("small")
+        assert store.num_evictions == 0

@@ -48,3 +48,34 @@ class TestMain:
         assert main(["fig12", "--requests", "8"]) == 0
         out = capsys.readouterr().out
         assert "8 requests" in out
+
+
+class TestAdaptersSubcommand:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["adapters"])
+
+    def test_tiers_flag_repeatable(self):
+        args = build_parser().parse_args(
+            ["adapters", "simulate-cache", "--tiers", "4", "--tiers", "2:8"]
+        )
+        assert args.tiers == ["4", "2:8"]
+
+    def test_bad_tiers_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["adapters", "simulate-cache", "--tiers", "banana"])
+        with pytest.raises(SystemExit):
+            main(["adapters", "simulate-cache", "--tiers", "0:4"])
+
+    def test_list(self, tmp_path, capsys):
+        assert main([
+            "adapters", "list", "--requests", "40", "--out", str(tmp_path)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "lora-0" in out and "DISK" in out
+        assert (tmp_path / "adapters_list.txt").exists()
+
+    def test_simulate_cache(self, capsys):
+        assert main(["adapters", "simulate-cache", "--tiers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "cold_ttft_ms" in out and "prefetch on" in out

@@ -79,6 +79,32 @@ class TestEviction:
         with pytest.raises(ValueError):
             LoraLoader(capacity_bytes=0)
 
+    def test_oversized_adapter_clear_error_without_eviction(self):
+        # An adapter bigger than the whole budget can never fit; the loader
+        # must say so up front instead of draining the cache first.
+        loader = LoraLoader(capacity_bytes=100 * MB)
+        loader.request_load("small", 40 * MB, now=0.0)
+        with pytest.raises(MemoryError, match="never fit"):
+            loader.request_load("huge", 150 * MB, now=100.0)
+        assert loader.is_resident("small")
+        assert loader.num_evictions == 0
+
+    def test_release_unpins_for_eviction(self):
+        # The refcount-pinned path end to end: pinned blocks eviction,
+        # releasing the last reference makes the adapter evictable again.
+        loader = LoraLoader(capacity_bytes=100 * MB)
+        loader.request_load("pinned", 60 * MB, now=0.0)
+        loader.acquire("pinned", now=0.0)
+        loader.acquire("pinned", now=1.0)
+        loader.release("pinned")  # still pinned by the first reference
+        with pytest.raises(MemoryError):
+            loader.request_load("other", 60 * MB, now=10.0)
+        loader.release("pinned")
+        loader.request_load("other", 60 * MB, now=20.0)
+        assert loader.is_resident("other")
+        assert not loader.is_resident("pinned")
+        assert loader.num_evictions == 1
+
 
 class TestLayerGranularity:
     def test_layer_load_near_paper_50us(self):
