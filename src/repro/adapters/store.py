@@ -175,6 +175,49 @@ class GpuAdapterStore:
         self.events.append(AdapterEvent(now, "load", float(source)))
         return plan
 
+    # -- fault injection -------------------------------------------------
+    def stall(self, now: float, extra: float) -> list[str]:
+        """PCIe stall: push every unfinished transfer out by ``extra`` s.
+
+        Models link-level interference (another tenant's DMA, a host NUMA
+        hiccup). Returns the adapters whose plans moved, so callers can
+        re-arm wakeups keyed on the old ready times.
+        """
+        if extra < 0:
+            raise ValueError(f"stall must be nonnegative, got {extra}")
+        self.advance(now)
+        moved = []
+        for lora_id, entry in self._entries.items():
+            if not entry.plan.done_by(now):
+                entry.plan = TransferPlan(
+                    nbytes=entry.plan.nbytes,
+                    start=entry.plan.start,
+                    finish=entry.plan.finish + extra,
+                )
+                moved.append(lora_id)
+        if moved:
+            self.pcie_busy_until = max(self.pcie_busy_until, now) + extra
+            self.events.append(AdapterEvent(now, "pcie", extra))
+        return moved
+
+    def fail_load(self, lora_id: str, now: float) -> bool:
+        """Adapter-load failure: drop an entry so the copy must be reissued.
+
+        Only unpinned entries can be dropped (pinned means some request in
+        a working set still references the weights — the caller must
+        displace those requests first). Returns whether the entry was
+        dropped.
+        """
+        self.advance(now)
+        entry = self._entries.get(lora_id)
+        if entry is None or entry.refcount > 0:
+            return False
+        del self._entries[lora_id]
+        if self.registry is not None and lora_id in self.registry:
+            self.registry.note_gpu_evicted(lora_id, self.gpu_id)
+        self.events.append(AdapterEvent(now, "evict", 1.0))
+        return True
+
     def prefetch(self, lora_id: str, now: float, nbytes: "float | None" = None) -> bool:
         """Speculatively promote a HOST adapter to this GPU.
 

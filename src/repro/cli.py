@@ -18,6 +18,7 @@ import sys
 from collections.abc import Callable
 
 from repro.bench import (
+    run_faults_ablation,
     run_fig01,
     run_fig07,
     run_fig08,
@@ -60,6 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--requests", type=int, default=None,
                            help="trace size (default: quick scale)")
     _add_adapters_parser(sub)
+    _add_faults_parser(sub)
     return parser
 
 
@@ -91,6 +93,32 @@ def _add_adapters_parser(sub) -> None:
                       help="disable the popularity-driven prefetcher")
     simc.add_argument("--seed", type=int, default=0)
     simc.add_argument("--out", type=pathlib.Path, default=None)
+
+
+def _add_faults_parser(sub) -> None:
+    """The fault-injection subcommand (crash ablation on the cluster sim)."""
+    faults = sub.add_parser(
+        "faults",
+        help="fault tolerance: GPU crash ablation with §5.3 re-placement",
+    )
+    faults.add_argument("--seed", type=int, default=0,
+                        help="trace and injector seed")
+    faults.add_argument("--crash-time", type=float, default=None,
+                        help="when the GPU dies (default: mid-trace)")
+    faults.add_argument("--out", type=pathlib.Path, default=None)
+
+
+def _run_faults(args) -> int:
+    kwargs = {"seed": args.seed}
+    if args.crash_time is not None:
+        kwargs["crash_time"] = args.crash_time
+    table = run_faults_ablation(**kwargs)
+    text = table.render()
+    print(text)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "faults.txt").write_text(text + "\n")
+    return 0
 
 
 def _parse_tiers(spec: str) -> "tuple[int, int | None]":
@@ -216,6 +244,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return 0
     if args.command == "adapters":
         return _run_adapters(args)
+    if args.command == "faults":
+        return _run_faults(args)
     _run_one(args.command, args.out, getattr(args, "requests", None))
     return 0
 

@@ -3,19 +3,37 @@
 Events are ``(time, seq, action)`` triples in a binary heap; ``seq`` breaks
 ties deterministically in scheduling order, which keeps whole simulations
 reproducible under a fixed seed. Actions may schedule further events.
+:meth:`EventLoop.schedule` returns an :class:`EventHandle` so timers that
+become moot (a request's deadline after it finished, a retry after a
+cancel) can be disarmed instead of firing as no-ops.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EventHandle:
+    """Disarmable reference to one scheduled event."""
+
+    time: float
+    cancelled: bool = field(default=False)
+
+    def cancel(self) -> None:
+        """Disarm: the loop drops the event instead of running its action."""
+        self.cancelled = True
 
 
 class EventLoop:
     """Deterministic discrete-event executor."""
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable[[float], None]]] = []
+        self._heap: list[
+            tuple[float, int, Callable[[float], None], EventHandle]
+        ] = []
         self._seq = 0
         self._now = 0.0
         self._processed = 0
@@ -32,17 +50,21 @@ class EventLoop:
     def processed(self) -> int:
         return self._processed
 
-    def schedule(self, time: float, action: Callable[[float], None]) -> None:
+    def schedule(self, time: float, action: Callable[[float], None]) -> EventHandle:
         """Enqueue ``action`` to run at ``time`` (must not be in the past)."""
         if time < self._now - 1e-12:
             raise ValueError(f"cannot schedule at {time} before now={self._now}")
-        heapq.heappush(self._heap, (time, self._seq, action))
+        handle = EventHandle(time=time)
+        heapq.heappush(self._heap, (time, self._seq, action, handle))
         self._seq += 1
+        return handle
 
-    def schedule_after(self, delay: float, action: Callable[[float], None]) -> None:
+    def schedule_after(
+        self, delay: float, action: Callable[[float], None]
+    ) -> EventHandle:
         if delay < 0:
             raise ValueError(f"delay must be nonnegative, got {delay}")
-        self.schedule(self._now + delay, action)
+        return self.schedule(self._now + delay, action)
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Process events in time order; returns the final clock.
@@ -53,11 +75,13 @@ class EventLoop:
         while self._heap:
             if max_events is not None and self._processed >= max_events:
                 break
-            time, _, action = self._heap[0]
+            time, _, action, handle = self._heap[0]
             if until is not None and time > until:
                 self._now = until
                 return self._now
             heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
             self._now = time
             action(time)
             self._processed += 1

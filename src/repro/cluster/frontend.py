@@ -6,6 +6,12 @@ frontend -> user). In this reproduction the frontend is an in-process
 facade over the cluster simulator: clients submit prompts (optionally at a
 future simulated time), register per-request token callbacks, and may
 cancel in flight. Token streaming rides the engine step reports.
+
+Fault tolerance (docs/faults.md): a submission may carry a per-request
+``deadline``; if the request has not finished by then, the frontend
+cancels it wherever it is and retries with exponential backoff, up to
+``max_retries`` times, after which the request surfaces as FAILED on its
+:class:`RequestHandle`.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ import itertools
 from dataclasses import dataclass, field
 from collections.abc import Callable
 
+from repro.cluster.events import EventHandle
 from repro.cluster.simulator import ClusterSimulator
 from repro.runtime.request import Request, RequestState
 from repro.workloads.trace import RequestSpec
@@ -28,6 +35,13 @@ class RequestHandle:
 
     request: Request
     streamed: list[tuple[int, float]] = field(default_factory=list)
+    deadline: "float | None" = None
+    """Seconds from (each) arrival the request may take before the
+    frontend cancels and retries it."""
+    max_retries: int = 0
+    retry_backoff: float = 1.0
+    """Base backoff: the k-th retry waits retry_backoff * 2**k seconds."""
+    _deadline_event: "EventHandle | None" = field(default=None, repr=False)
 
     @property
     def request_id(self) -> str:
@@ -41,8 +55,20 @@ class RequestHandle:
     def tokens(self) -> list[int]:
         return [t for t, _ in self.streamed]
 
+    @property
+    def failed(self) -> bool:
+        return self.request.state is RequestState.FAILED
+
+    @property
+    def failure_reason(self) -> "str | None":
+        return self.request.failure_reason
+
+    @property
+    def retries_used(self) -> int:
+        return self.request.num_retries
+
     def is_done(self) -> bool:
-        return self.request.state in (RequestState.FINISHED, RequestState.CANCELLED)
+        return self.request.state.is_terminal
 
 
 class Frontend:
@@ -68,8 +94,24 @@ class Frontend:
         at_time: float = 0.0,
         prompt_tokens: "list[int] | None" = None,
         request_id: str | None = None,
+        deadline: "float | None" = None,
+        max_retries: int = 0,
+        retry_backoff: float = 1.0,
     ) -> RequestHandle:
-        """Submit a request arriving at ``at_time`` (simulated clock)."""
+        """Submit a request arriving at ``at_time`` (simulated clock).
+
+        With a ``deadline`` (seconds from arrival), the frontend enforces
+        it: a request still unfinished when the deadline fires is cancelled
+        and — while retries remain — resubmitted after an exponential
+        backoff, keeping any generated prefix (the §5.3 re-prefill pays
+        for it). Out of retries, the handle surfaces FAILED.
+        """
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff <= 0:
+            raise ValueError(f"retry_backoff must be positive, got {retry_backoff}")
         rid = request_id or f"fe-{next(self._ids):05d}"
         if rid in self._handles:
             raise ValueError(f"request id {rid!r} already submitted")
@@ -81,10 +123,17 @@ class Frontend:
             response_len=response_len,
         )
         request = Request(spec=spec, prompt_tokens=prompt_tokens)
-        handle = RequestHandle(request=request)
+        handle = RequestHandle(
+            request=request,
+            deadline=deadline,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+        )
         self._handles[rid] = handle
         self.simulator._requests[rid] = request
         self.simulator.schedule_arrival(request)
+        if deadline is not None:
+            self._arm_deadline(handle, at_time)
         return handle
 
     def cancel(self, request_id: str) -> None:
@@ -94,7 +143,35 @@ class Frontend:
             raise KeyError(f"unknown request {request_id!r}")
         if handle.is_done():
             return
-        self.simulator.scheduler.cancel(handle.request)
+        if handle._deadline_event is not None:
+            handle._deadline_event.cancel()
+        self.simulator.cancel(handle.request)
+
+    # ------------------------------------------------------------------
+    # Deadlines and bounded retry (docs/faults.md)
+    # ------------------------------------------------------------------
+    def _arm_deadline(self, handle: RequestHandle, arrival: float) -> None:
+        handle._deadline_event = self.simulator.loop.schedule(
+            arrival + handle.deadline, self._make_deadline(handle)
+        )
+
+    def _make_deadline(self, handle: RequestHandle):
+        def fire(now: float) -> None:
+            request = handle.request
+            if request.state.is_terminal:
+                return
+            self.simulator.cancel(request, now)
+            if request.num_retries >= handle.max_retries:
+                request.mark_failed(
+                    f"deadline exceeded after {request.num_retries} retries"
+                )
+                return
+            backoff = handle.retry_backoff * (2.0 ** request.num_retries)
+            request.reset_for_retry()
+            self.simulator.schedule_arrival(request, at=now + backoff)
+            self._arm_deadline(handle, now + backoff)
+
+        return fire
 
     def run(self, until: float | None = None) -> float:
         """Advance the simulated cluster until quiescent (or ``until``)."""

@@ -79,6 +79,17 @@ class ClusterMetrics:
     """(time, 1) per prefetched adapter a later demand load actually used."""
     pcie_busy: TimeSeries = field(default_factory=TimeSeries)
     """(copy start, copy seconds) per host->GPU transfer — busy time."""
+    faults_injected: TimeSeries = field(default_factory=TimeSeries)
+    """(time, 1) per fault the injector actually applied."""
+    replacements: TimeSeries = field(default_factory=TimeSeries)
+    """(time, 1) per in-flight request re-placed after a fault (§5.3
+    evict + re-prefill used as the recovery mechanism)."""
+    sheds: TimeSeries = field(default_factory=TimeSeries)
+    """(time, 1) per request shed with a FAILED terminal state because no
+    surviving capacity could ever absorb it."""
+    recoveries: TimeSeries = field(default_factory=TimeSeries)
+    """(recovery time, seconds since the fault) — one sample per fault
+    whose displaced requests all reached a GPU (or terminal state) again."""
 
     def record_arrival(self, t: float) -> None:
         self.arrivals.record(t, 1.0)
@@ -102,6 +113,19 @@ class ClusterMetrics:
 
     def record_pcie_transfer(self, t: float, duration: float) -> None:
         self.pcie_busy.record(t, float(duration))
+
+    # -- fault tolerance --------------------------------------------------
+    def record_fault(self, t: float) -> None:
+        self.faults_injected.record(t, 1.0)
+
+    def record_replacement(self, t: float) -> None:
+        self.replacements.record(t, 1.0)
+
+    def record_shed(self, t: float) -> None:
+        self.sheds.record(t, 1.0)
+
+    def record_recovery(self, t: float, latency: float) -> None:
+        self.recoveries.record(t, float(latency))
 
     def ingest_adapter_events(self, events) -> None:
         """Fold store event logs (see
@@ -171,3 +195,19 @@ class ClusterMetrics:
 
     def pcie_busy_seconds(self) -> float:
         return float(np.sum(self.pcie_busy.values)) if self.pcie_busy.values else 0.0
+
+    def fault_count(self) -> int:
+        return len(self.faults_injected)
+
+    def replacement_count(self) -> int:
+        return len(self.replacements)
+
+    def shed_count(self) -> int:
+        return len(self.sheds)
+
+    def mean_recovery_latency(self) -> float:
+        """Mean seconds from fault injection until every displaced request
+        was running again (or reached a terminal state)."""
+        if not self.recoveries.values:
+            return 0.0
+        return float(np.mean(self.recoveries.values))

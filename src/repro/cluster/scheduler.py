@@ -18,6 +18,10 @@ from dataclasses import dataclass
 
 from repro.runtime.request import Request, RequestState
 
+DEFAULT_MAX_BATCH_SIZE = 32
+"""Fallback when no engine in the pool exposes ``.config`` (test doubles,
+exotic backends): the paper's profiled A100 sweet spot (§5.1)."""
+
 
 @dataclass(frozen=True)
 class SchedulerConfig:
@@ -90,6 +94,20 @@ class PunicaScheduler:
             raise RuntimeError("cannot release the last GPU")
         return self.engines.pop(gpu_id)
 
+    def fail_engine(self, gpu_id: str, now: float) -> "list[Request]":
+        """A GPU died: drop it from the pool and return its displaced
+        requests (QUEUED with their generated prefix preserved) so the
+        caller can re-place them via the §5.3 evict + re-prefill path.
+
+        Unlike :meth:`remove_engine` this succeeds on a *busy* GPU — that
+        is the whole point — and may empty the pool (the caller sheds what
+        cannot be re-placed).
+        """
+        engine = self.engines.pop(gpu_id, None)
+        if engine is None:
+            raise KeyError(f"GPU {gpu_id} not in the pool")
+        return engine.fail(now)
+
     # ------------------------------------------------------------------
     @property
     def queue_depth(self) -> int:
@@ -103,7 +121,14 @@ class PunicaScheduler:
 
     # ------------------------------------------------------------------
     def submit(self, request: Request, now: float) -> "str | None":
-        """Route a request; returns the chosen GPU id or None if queued."""
+        """Route a request; returns the chosen GPU id or None if queued.
+
+        Terminal requests are dropped, not routed: a user may cancel before
+        the simulated arrival fires, and routing a CANCELLED request into
+        ``engine.add_request`` would crash its ``mark_running`` transition.
+        """
+        if request.state.is_terminal:
+            return None
         gpu = self._route(request)
         if gpu is None:
             heapq.heappush(
@@ -157,7 +182,7 @@ class PunicaScheduler:
         placed = []
         while self._queue:
             _, _, request = self._queue[0]
-            if request.state is RequestState.CANCELLED:
+            if request.state.is_terminal:
                 heapq.heappop(self._queue)
                 continue
             gpu = self._route(request)
@@ -178,13 +203,39 @@ class PunicaScheduler:
         for rid in request_ids:
             self.submit(requests[rid], now)
 
-    def cancel(self, request: Request) -> None:
-        """User cancellation: drop from whichever GPU or queue holds it."""
-        for engine in self.engines.values():
+    def cancel(self, request: Request) -> "str | None":
+        """User cancellation: drop from whichever GPU or queue holds it.
+
+        Returns the GPU the request was running on (None if it was only
+        queued or not yet arrived). Callers that own an event loop must
+        drain the FCFS queue afterwards — the freed batch slot and KvCache
+        pages admit nobody by themselves (see ClusterSimulator.cancel).
+        """
+        for gid, engine in self.engines.items():
             if engine.has_request(request.request_id):
                 engine.cancel(request.request_id)
-                return
-        request.mark_cancelled()  # it is (lazily removed) in the queue
+                return gid
+        # Purge any queue entry eagerly: a later retry may reset this
+        # request back to QUEUED, and a stale heap entry would then place
+        # it twice. Lazy skipping in drain_queue remains as defense.
+        before = len(self._queue)
+        self._queue = [
+            entry for entry in self._queue
+            if entry[2].request_id != request.request_id
+        ]
+        if len(self._queue) != before:
+            heapq.heapify(self._queue)
+        request.mark_cancelled()
+        return None
+
+    def drain_all_queued(self) -> "list[Request]":
+        """Empty the FCFS queue, returning the live requests it held (the
+        shed path: the caller marks them FAILED when no capacity remains)."""
+        out = [
+            r for _, _, r in sorted(self._queue) if not r.state.is_terminal
+        ]
+        self._queue.clear()
+        return out
 
     # ------------------------------------------------------------------
     def consolidate(self, now: float) -> int:
@@ -198,12 +249,7 @@ class PunicaScheduler:
             return 0
         moved = 0
         threshold = max(
-            1,
-            int(
-                self.config.light_load_fraction
-                * max(e.config.max_batch_size for e in self.engines.values()
-                      if hasattr(e, "config"))
-            ),
+            1, int(self.config.light_load_fraction * self._max_batch_size())
         )
         order = sorted(
             (e.working_set_size, gid)
@@ -239,11 +285,22 @@ class PunicaScheduler:
         return gpu
 
     # ------------------------------------------------------------------
+    def _max_batch_size(self) -> int:
+        """Largest engine batch size, falling back to the paper default
+        when no engine exposes ``.config`` (the empty-generator ValueError
+        this used to raise took down consolidation under test doubles)."""
+        return max(
+            (
+                e.config.max_batch_size
+                for e in self.engines.values()
+                if hasattr(e, "config")
+            ),
+            default=DEFAULT_MAX_BATCH_SIZE,
+        )
+
     def scaling_hint(self) -> str:
         """Cloud elasticity signal (§5.1): grow, shrink, or hold the pool."""
-        max_bs = max(
-            e.config.max_batch_size for e in self.engines.values() if hasattr(e, "config")
-        )
+        max_bs = self._max_batch_size()
         light = [
             e for e in self.engines.values()
             if e.working_set_size < self.config.light_load_fraction * max_bs

@@ -6,6 +6,12 @@ at time t, the next step for that GPU is scheduled at t immediately if it
 has work. Arrivals fire scheduler submissions; finished/evicted requests
 trigger queue drains and re-placements; a periodic event runs the
 consolidation migration pass.
+
+With a :class:`~repro.cluster.faults.FaultInjector` attached, injected
+faults are applied at their scheduled times: a crashed GPU leaves the pool
+and its in-flight requests are re-placed through the same evict +
+re-prefill path migration uses (§5.3); requests are shed with a FAILED
+terminal state only when no surviving capacity remains (docs/faults.md).
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.events import EventLoop
+from repro.cluster.faults import FaultInjector, FaultKind, FaultSpec
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.scheduler import PunicaScheduler, SchedulerConfig
 from repro.runtime.request import Request, RequestState
@@ -37,6 +44,10 @@ class SimulationResult:
     @property
     def finished_requests(self) -> int:
         return sum(1 for r in self.requests if r.state is RequestState.FINISHED)
+
+    @property
+    def failed_requests(self) -> int:
+        return sum(1 for r in self.requests if r.state is RequestState.FAILED)
 
     @property
     def throughput(self) -> float:
@@ -69,16 +80,21 @@ class ClusterSimulator:
         scheduler_config: SchedulerConfig | None = None,
         registry=None,
         prefetcher=None,
+        fault_injector: "FaultInjector | None" = None,
     ):
         """``registry`` (an :class:`~repro.adapters.registry.AdapterRegistry`)
         receives per-adapter arrival feeds for popularity EWMAs;
         ``prefetcher`` (a :class:`~repro.adapters.prefetch.Prefetcher`) is
-        attached to every engine's loader and ticked periodically."""
+        attached to every engine's loader and ticked periodically;
+        ``fault_injector`` (a :class:`~repro.cluster.faults.FaultInjector`)
+        schedules deterministic faults the simulator applies and recovers
+        from."""
         self.scheduler = PunicaScheduler(engines, scheduler_config, prefetcher)
         self.loop = EventLoop()
         self.metrics = ClusterMetrics()
         self.registry = registry
         self.prefetcher = prefetcher
+        self.fault_injector = fault_injector
         if prefetcher is not None:
             prefetcher.attach(
                 {
@@ -90,6 +106,8 @@ class ClusterSimulator:
         self._requests: dict[str, Request] = {}
         self._gpu_busy: dict[str, bool] = {gid: False for gid in self.scheduler.engines}
         self._pending_arrivals = 0
+        self._recovering: list[tuple[float, list[Request]]] = []
+        """(fault time, displaced requests) sets not yet fully re-admitted."""
 
     # ------------------------------------------------------------------
     def run(self, trace: Trace, until: float | None = None) -> SimulationResult:
@@ -102,6 +120,8 @@ class ClusterSimulator:
             self.loop.schedule(cfg.migration_interval, self._migration_tick)
         if self.prefetcher is not None:
             self.loop.schedule(0.0, self._prefetch_tick)
+        if self.fault_injector is not None:
+            self.fault_injector.arm(self.loop, self._apply_fault)
         end = self.loop.run(until=until)
         self._drain_adapter_events()
         return SimulationResult(
@@ -113,10 +133,16 @@ class ClusterSimulator:
         )
 
     # ------------------------------------------------------------------
-    def schedule_arrival(self, req: Request) -> None:
-        """Register one future request arrival on the event loop."""
+    def schedule_arrival(self, req: Request, at: "float | None" = None) -> None:
+        """Register one future request arrival on the event loop.
+
+        ``at`` overrides the spec's arrival time — the frontend's retry
+        path resubmits a request at failure time + backoff, not at its
+        original arrival.
+        """
         self._pending_arrivals += 1
-        self.loop.schedule(req.spec.arrival_time, self._make_arrival(req))
+        time = req.spec.arrival_time if at is None else at
+        self.loop.schedule(time, self._make_arrival(req))
 
     def work_remaining(self) -> bool:
         """Whether any request is still queued, running, or yet to arrive.
@@ -132,14 +158,40 @@ class ClusterSimulator:
     def _make_arrival(self, req: Request):
         def arrival(now: float) -> None:
             self._pending_arrivals -= 1
+            if req.state.is_terminal:
+                # Cancelled (or failed) before the simulated arrival: the
+                # stale event must not reach the scheduler — submitting a
+                # CANCELLED request used to crash mark_running and with it
+                # the whole event loop.
+                return
             self.metrics.record_arrival(now)
             if self.registry is not None and req.lora_id in self.registry:
                 self.registry.record_request(req.lora_id, now)
+            if not self.scheduler.engines:
+                self._shed(req, now, "shed: no GPUs in the pool")
+                return
             gpu = self.scheduler.submit(req, now)
             if gpu is not None:
                 self._kick(gpu, now)
 
         return arrival
+
+    # ------------------------------------------------------------------
+    # Cancellation (user disconnect — frontends call this)
+    # ------------------------------------------------------------------
+    def cancel(self, request: Request, now: "float | None" = None) -> None:
+        """Cancel a request wherever it is, then re-admit queued work.
+
+        The drain kick is load-bearing: cancelling the last running request
+        frees batch/KvCache capacity, but no step report fires for it, so
+        without an explicit drain the FCFS queue would stay stranded until
+        some other request finished — forever, if none was running.
+        """
+        now = self.loop.now if now is None else now
+        self.scheduler.cancel(request)
+        placed = self.scheduler.drain_queue(now)
+        for gid in set(placed):
+            self._kick(gid, now)
 
     def _prefetch_tick(self, now: float) -> None:
         self.prefetcher.tick(now)
@@ -180,7 +232,12 @@ class ClusterSimulator:
 
     def _make_step(self, gpu_id: str):
         def step(now: float) -> None:
-            engine = self.scheduler.engines[gpu_id]
+            engine = self.scheduler.engines.get(gpu_id)
+            if engine is None or not getattr(engine, "alive", True):
+                # The GPU crashed (or was released) after this step event
+                # was armed; its requests were already re-placed.
+                self._gpu_busy.pop(gpu_id, None)
+                return
             report = engine.step(now)
             if report is None:
                 # Blocked on an in-flight LoRA load: wake when it lands.
@@ -208,5 +265,135 @@ class ClusterSimulator:
                 self._gpu_busy[gpu_id] = False
             else:
                 self.loop.schedule(end, self._make_step(gpu_id))
+            if self._recovering:
+                self._check_recoveries(end)
 
         return step
+
+    # ------------------------------------------------------------------
+    # Fault application and recovery (docs/faults.md)
+    # ------------------------------------------------------------------
+    def _apply_fault(self, spec: FaultSpec, now: float) -> "tuple[str | None, bool]":
+        """Apply one injected fault; returns (target gpu, applied?)."""
+        inj = self.fault_injector
+        engines = self.scheduler.engines
+        if spec.kind is FaultKind.GPU_CRASH:
+            gpu_id = spec.gpu_id or inj.pick_gpu(engines)
+            engine = engines.get(gpu_id) if gpu_id is not None else None
+            if engine is None or not getattr(engine, "alive", True):
+                return gpu_id, False
+            if len(engines) == 1 and not inj.allow_last_gpu_crash:
+                return gpu_id, False
+            self.metrics.record_fault(now)
+            displaced = self.scheduler.fail_engine(gpu_id, now)
+            self._gpu_busy.pop(gpu_id, None)
+            self._replace_requests(displaced, now)
+            return gpu_id, True
+
+        if spec.kind is FaultKind.GPU_SLOWDOWN:
+            gpu_id = spec.gpu_id or inj.pick_gpu(engines)
+            engine = engines.get(gpu_id) if gpu_id is not None else None
+            if engine is None or not getattr(engine, "alive", True):
+                return gpu_id, False
+            self.metrics.record_fault(now)
+            engine.slowdown_factor = max(engine.slowdown_factor, spec.factor)
+
+            def restore(_t: float, engine=engine) -> None:
+                engine.slowdown_factor = 1.0
+
+            self.loop.schedule(now + spec.duration, restore)
+            return gpu_id, True
+
+        if spec.kind is FaultKind.PCIE_STALL:
+            gpu_id = spec.gpu_id or inj.pick_gpu(engines)
+            engine = engines.get(gpu_id) if gpu_id is not None else None
+            stall = getattr(getattr(engine, "loader", None), "stall_pcie", None)
+            if engine is None or not getattr(engine, "alive", True) or stall is None:
+                return gpu_id, False
+            self.metrics.record_fault(now)
+            stall(now, spec.duration)
+            # Step events armed on the pre-stall ready time fire early,
+            # see the load still in flight, and re-arm on the new time —
+            # but only if one was armed at all; kick to be safe.
+            self._kick(gpu_id, now)
+            return gpu_id, True
+
+        if spec.kind is FaultKind.ADAPTER_LOAD_FAIL:
+            gpu_id, lora_id = self._pick_load_failure(spec, now)
+            if gpu_id is None or lora_id is None:
+                return gpu_id, False
+            engine = engines[gpu_id]
+            self.metrics.record_fault(now)
+            # Displace the pending requests waiting on the failed copy
+            # (they hold the only pins an in-flight adapter can have),
+            # then drop the entry so a re-placement reissues the load.
+            victims = [
+                r
+                for r in engine.all_requests()
+                if r.needs_prefill and r.lora_id == lora_id
+            ]
+            for req in victims:
+                engine.cancel(req.request_id, requeue=True)
+            engine.loader.fail_load(lora_id, now)
+            self._replace_requests(victims, now)
+            return gpu_id, True
+
+        raise ValueError(f"unknown fault kind {spec.kind!r}")
+
+    def _pick_load_failure(
+        self, spec: FaultSpec, now: float
+    ) -> "tuple[str | None, str | None]":
+        """Resolve the (gpu, adapter) target of an ADAPTER_LOAD_FAIL."""
+        inj = self.fault_injector
+        engines = self.scheduler.engines
+        if spec.gpu_id is not None:
+            candidates = {spec.gpu_id: engines.get(spec.gpu_id)}
+        else:
+            candidates = {
+                gid: e
+                for gid, e in engines.items()
+                if getattr(e, "alive", True)
+                and getattr(getattr(e, "loader", None), "inflight_models", None)
+                and e.loader.inflight_models(now)
+            }
+        if not candidates or any(e is None for e in candidates.values()):
+            return spec.gpu_id, None
+        gpu_id = spec.gpu_id or inj.pick_gpu(candidates, prefer_busy=False)
+        engine = candidates[gpu_id]
+        lora_id = spec.lora_id or inj.pick_inflight_lora(engine, now)
+        return gpu_id, lora_id
+
+    def _replace_requests(self, displaced: "list[Request]", now: float) -> None:
+        """Re-place requests a fault knocked off their GPU (§5.3 re-prefill),
+        shedding only when no surviving capacity remains."""
+        if not displaced:
+            return
+        if not self.scheduler.engines:
+            for req in displaced + self.scheduler.drain_all_queued():
+                self._shed(req, now, "shed: no GPUs in the pool")
+            return
+        for req in displaced:
+            self.metrics.record_replacement(now)
+            gpu = self.scheduler.submit(req, now)
+            if gpu is not None:
+                self._kick(gpu, now)
+        placed = self.scheduler.drain_queue(now)
+        for gid in set(placed):
+            self._kick(gid, now)
+        self._recovering.append((now, list(displaced)))
+        self._check_recoveries(now)
+
+    def _shed(self, request: Request, now: float, reason: str) -> None:
+        request.mark_failed(reason)
+        self.metrics.record_shed(now)
+
+    def _check_recoveries(self, now: float) -> None:
+        """Record recovery latency once a fault's displaced set is fully
+        re-admitted (no survivor still waiting in the FCFS queue)."""
+        still_pending = []
+        for fault_time, reqs in self._recovering:
+            if any(r.state is RequestState.QUEUED for r in reqs):
+                still_pending.append((fault_time, reqs))
+            else:
+                self.metrics.record_recovery(now, now - fault_time)
+        self._recovering = still_pending

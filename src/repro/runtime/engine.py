@@ -94,6 +94,11 @@ class GpuEngine:
         self._working: dict[str, _Slot] = {}
         self._pending: list[_Slot] = []
         self._admit_seq = 0
+        self.alive = True
+        """False once the GPU crashed; a dead engine accepts and runs nothing."""
+        self.slowdown_factor = 1.0
+        """Multiplier on step latency (fault injection: thermal throttling,
+        a noisy neighbour, ECC retirement storms). 1.0 = healthy."""
 
     # ------------------------------------------------------------------
     # Scheduler-facing state
@@ -122,6 +127,8 @@ class GpuEngine:
         KvCache-shared) memory budget, so a GPU whose pinned adapters leave
         no room declines rather than failing the load later.
         """
+        if not self.alive:
+            return False
         if self.working_set_size >= self.config.max_batch_size:
             return False
         if self.config.same_lora_only:
@@ -210,11 +217,33 @@ class GpuEngine:
             slot.request.mark_cancelled()
         return slot.request
 
+    def fail(self, now: float) -> list[Request]:
+        """GPU crash: mark the engine dead and displace every request.
+
+        Displaced requests keep their generated prefix and return to QUEUED
+        (the §5.3 migration semantics) so the cluster scheduler can re-place
+        them with a re-prefill on a surviving GPU. KvCache and adapter pins
+        die with the GPU, so no release bookkeeping survives the crash.
+        """
+        self.alive = False
+        slots = sorted(
+            list(self._working.values()) + self._pending, key=lambda s: s.admit_seq
+        )
+        self._working.clear()
+        self._pending.clear()
+        displaced = []
+        for slot in slots:
+            slot.request.evict()
+            displaced.append(slot.request)
+        return displaced
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self, now: float) -> StepReport | None:
         """Run one batched invocation; ``None`` when nothing can run."""
+        if not self.alive:
+            return None
         self.loader.advance(now)
         # Reserve one new KvCache slot per decode request FIRST (evicting
         # newest requests on pressure), so prefill admission below can only
@@ -275,7 +304,8 @@ class GpuEngine:
             s.request.request_id: s.request for s in prefill_slots + decode_slots
         }
         execution = self.backend.execute(plan, past_lens, requests=requests)
-        end = now + execution.latency
+        latency = execution.latency * self.slowdown_factor
+        end = now + latency
 
         finished: list[str] = []
         for slot in prefill_slots + decode_slots:
@@ -298,7 +328,7 @@ class GpuEngine:
         return StepReport(
             gpu_id=self.gpu_id,
             start=now,
-            latency=execution.latency,
+            latency=latency,
             batch_size=len(entries),
             num_prefill=len(prefill_slots),
             num_decode=len(decode_slots),

@@ -105,6 +105,23 @@ class LoraLoader:
     def can_admit_adapter(self, lora_id: str, nbytes: float) -> bool:
         return self._store.can_admit_adapter(lora_id, nbytes)
 
+    # -- fault injection -------------------------------------------------
+    def stall_pcie(self, now: float, extra: float) -> list[str]:
+        """Delay every in-flight copy by ``extra`` seconds (PCIe stall)."""
+        return self._store.stall(now, extra)
+
+    def fail_load(self, lora_id: str, now: float) -> bool:
+        """Drop an unpinned (in-flight or resident) adapter entry."""
+        return self._store.fail_load(lora_id, now)
+
+    def inflight_models(self, now: float) -> list[str]:
+        """Adapters whose host->GPU copy has not completed by ``now``."""
+        return [
+            lid
+            for lid in self._store.resident_models()
+            if not self._store.is_ready(lid, now)
+        ]
+
     def acquire(self, lora_id: str, now: float) -> None:
         """Pin a model while a request using it is in the working set."""
         self._store.acquire(lora_id, now)

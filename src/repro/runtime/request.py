@@ -1,10 +1,12 @@
 """Request lifecycle state.
 
 A request flows QUEUED -> RUNNING -> FINISHED, possibly bouncing back to
-QUEUED on migration/eviction (cancel + re-add, §5.3). The object records
-everything the scheduler, engine and metrics need: timing marks, generated
-tokens, and how many of its tokens are currently materialized in some GPU's
-KvCache.
+QUEUED on migration/eviction (cancel + re-add, §5.3). Two terminal error
+states exist besides FINISHED: CANCELLED (user disconnect) and FAILED
+(shed under faults, or deadline exceeded after the retry budget — see
+docs/faults.md). The object records everything the scheduler, engine and
+metrics need: timing marks, generated tokens, and how many of its tokens
+are currently materialized in some GPU's KvCache.
 """
 
 from __future__ import annotations
@@ -20,6 +22,13 @@ class RequestState(enum.Enum):
     RUNNING = "running"
     FINISHED = "finished"
     CANCELLED = "cancelled"
+    FAILED = "failed"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (
+            RequestState.FINISHED, RequestState.CANCELLED, RequestState.FAILED
+        )
 
 
 @dataclass
@@ -42,6 +51,10 @@ class Request:
     first_token_time: "float | None" = None
     finish_time: "float | None" = None
     num_migrations: int = 0
+    num_retries: int = 0
+    """Frontend-driven resubmissions after a failure or missed deadline."""
+    failure_reason: "str | None" = None
+    """Why the request reached FAILED (shed, deadline, adapter-load, ...)."""
 
     @property
     def request_id(self) -> str:
@@ -93,6 +106,34 @@ class Request:
         self.state = RequestState.CANCELLED
         self.gpu_id = None
         self.kv_len = 0
+
+    def mark_failed(self, reason: str) -> None:
+        """Terminal failure: shed under faults or out of retry budget."""
+        if self.state is RequestState.FINISHED:
+            raise RuntimeError(f"cannot fail finished request {self.request_id}")
+        self.state = RequestState.FAILED
+        self.failure_reason = reason
+        self.gpu_id = None
+        self.kv_len = 0
+
+    def reset_for_retry(self) -> None:
+        """Return a FAILED/CANCELLED request to QUEUED for a frontend retry.
+
+        Generated tokens are kept — like migration, the next GPU re-prefills
+        over prompt + generated prefix, so no progress is re-paid twice.
+        """
+        if self.state not in (
+            RequestState.FAILED, RequestState.CANCELLED, RequestState.QUEUED
+        ):
+            raise RuntimeError(
+                f"cannot retry {self.request_id} from state {self.state}"
+            )
+        self.state = RequestState.QUEUED
+        self.failure_reason = None
+        self.gpu_id = None
+        self.kv_len = 0
+        self.needs_prefill = True
+        self.num_retries += 1
 
     def evict(self) -> None:
         """Cancel on the current GPU but keep progress (migration step 1).
