@@ -58,6 +58,13 @@ from repro.models import (
     random_llama_weights,
     tiny_config,
 )
+from repro.obs import (
+    EventKind,
+    MetricsRegistry,
+    TraceEvent,
+    Tracer,
+    compute_breakdowns,
+)
 from repro.runtime import (
     EngineConfig,
     GpuEngine,
@@ -85,6 +92,7 @@ __all__ = [
     "ElasticClusterSimulator",
     "ElasticConfig",
     "EngineConfig",
+    "EventKind",
     "FASTER_TRANSFORMER",
     "FrameworkProfile",
     "Frontend",
@@ -99,6 +107,7 @@ __all__ = [
     "LlamaConfig",
     "LlamaModel",
     "LoraRegistry",
+    "MetricsRegistry",
     "NumpyBackend",
     "PUNICA",
     "PageAllocator",
@@ -113,9 +122,12 @@ __all__ = [
     "StepWorkload",
     "TensorParallelConfig",
     "Trace",
+    "TraceEvent",
+    "Tracer",
     "VLLM",
     "add_lora_sgmv",
     "build_engine",
+    "compute_breakdowns",
     "generate_trace",
     "model_step_latency",
     "open_loop_trace",

@@ -77,6 +77,10 @@ class GpuAdapterStore:
         self.pcie_busy_until = 0.0
         self.num_evictions = 0
         self.events: list[AdapterEvent] = []
+        self.tracer = None
+        """Optional :class:`~repro.obs.tracer.Tracer` (the cluster
+        simulator sets it) receiving one ADAPTER_LOAD event per demand
+        load, tagged with the tier that satisfied it."""
 
     # -- queries ---------------------------------------------------------
     def is_resident(self, lora_id: str) -> bool:
@@ -155,6 +159,7 @@ class GpuAdapterStore:
                 entry.prefetched = False
                 self.events.append(AdapterEvent(now, "prefetch_hit", 1.0))
             self.events.append(AdapterEvent(now, "load", float(Tier.GPU)))
+            self._trace_load(now, lora_id, Tier.GPU, entry.plan)
             return entry.plan
         source = self.tier(lora_id)
         host_ready = now
@@ -173,7 +178,18 @@ class GpuAdapterStore:
         if self.registry is not None and lora_id in self.registry:
             self.registry.note_gpu_resident(lora_id, self.gpu_id)
         self.events.append(AdapterEvent(now, "load", float(source)))
+        self._trace_load(now, lora_id, source, plan)
         return plan
+
+    def _trace_load(self, now: float, lora_id: str, tier: Tier, plan) -> None:
+        if self.tracer is not None:
+            from repro.obs.tracer import EventKind
+
+            self.tracer.emit(
+                now, EventKind.ADAPTER_LOAD, gpu_id=self.gpu_id,
+                lora=lora_id, tier=tier.name.lower(),
+                ready_in=max(0.0, plan.finish - now), nbytes=plan.nbytes,
+            )
 
     # -- fault injection -------------------------------------------------
     def stall(self, now: float, extra: float) -> list[str]:

@@ -62,6 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="trace size (default: quick scale)")
     _add_adapters_parser(sub)
     _add_faults_parser(sub)
+    _add_trace_parser(sub)
     return parser
 
 
@@ -106,6 +107,52 @@ def _add_faults_parser(sub) -> None:
     faults.add_argument("--crash-time", type=float, default=None,
                         help="when the GPU dies (default: mid-trace)")
     faults.add_argument("--out", type=pathlib.Path, default=None)
+
+
+def _add_trace_parser(sub) -> None:
+    """The tracing subcommand (seeded scenarios + latency breakdowns)."""
+    trace = sub.add_parser(
+        "trace",
+        help="run a seeded scenario, dump its JSONL trace and latency breakdown",
+    )
+    trace.add_argument(
+        "scenario", nargs="?", default="single_gpu",
+        choices=["single_gpu", "cluster_migration", "faults"],
+        help="which seeded scenario to run (default: single_gpu)",
+    )
+    trace.add_argument("--seed", type=int, default=0,
+                       help="workload and injector seed")
+    trace.add_argument("--out", type=pathlib.Path, default=None,
+                       help="write the JSONL trace to this file")
+    trace.add_argument("--metrics", action="store_true",
+                       help="also print the Prometheus-text metrics snapshot")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="cap the breakdown table at N requests")
+
+
+def _run_trace(args) -> int:
+    from repro.obs import breakdown_table, compute_breakdowns, run_scenario
+    from repro.obs.analysis import breakdown_totals
+
+    result = run_scenario(args.scenario, seed=args.seed)
+    breakdowns = compute_breakdowns(result.tracer)
+    print(f"# scenario={args.scenario} seed={args.seed} "
+          f"requests={len(result.requests)} events={len(result.tracer.events)}")
+    print(breakdown_table(breakdowns, limit=args.limit))
+    totals = breakdown_totals(breakdowns)
+    parts = "  ".join(f"{k}={v:.4f}s" for k, v in totals.items())
+    print(f"totals: {parts}")
+    if args.metrics:
+        if result.metrics is None:
+            print("(no cluster metrics for this scenario)")
+        else:
+            print()
+            print(result.metrics.registry.render_prometheus(), end="")
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        result.tracer.dump_jsonl(args.out)
+        print(f"trace written to {args.out}")
+    return 0
 
 
 def _run_faults(args) -> int:
@@ -246,6 +293,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _run_adapters(args)
     if args.command == "faults":
         return _run_faults(args)
+    if args.command == "trace":
+        return _run_trace(args)
     _run_one(args.command, args.out, getattr(args, "requests", None))
     return 0
 

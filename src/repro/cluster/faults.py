@@ -102,6 +102,9 @@ class FaultInjector:
         it off unless the test explicitly exercises the shed path."""
         self._rng = random.Random(seed)
         self.injected: list[InjectedFault] = []
+        self.tracer = None
+        """Optional :class:`~repro.obs.tracer.Tracer` (the simulator sets
+        it) receiving one FAULT event per fired tick, applied or not."""
 
     # ------------------------------------------------------------------
     @classmethod
@@ -155,6 +158,13 @@ class FaultInjector:
             self.injected.append(
                 InjectedFault(spec=spec, gpu_id=gpu_id, time=now, applied=applied)
             )
+            if self.tracer is not None:
+                from repro.obs.tracer import EventKind
+
+                self.tracer.emit(
+                    now, EventKind.FAULT, gpu_id=gpu_id,
+                    fault=spec.kind.value, applied=applied,
+                )
 
         return tick
 

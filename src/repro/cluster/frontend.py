@@ -145,7 +145,7 @@ class Frontend:
             return
         if handle._deadline_event is not None:
             handle._deadline_event.cancel()
-        self.simulator.cancel(handle.request)
+        self.simulator.cancel(handle.request, reason="user")
 
     # ------------------------------------------------------------------
     # Deadlines and bounded retry (docs/faults.md)
@@ -160,7 +160,7 @@ class Frontend:
             request = handle.request
             if request.state.is_terminal:
                 return
-            self.simulator.cancel(request, now)
+            self.simulator.cancel(request, now, reason="deadline")
             if request.num_retries >= handle.max_retries:
                 request.mark_failed(
                     f"deadline exceeded after {request.num_retries} retries"

@@ -1,5 +1,14 @@
 """Time-series metrics for cluster experiments (the three panels of Fig 13,
-plus the adapter-lifecycle panels the tiered cache ablation plots)."""
+plus the adapter-lifecycle panels the tiered cache ablation plots).
+
+Every counter here also feeds a per-run
+:class:`~repro.obs.metrics.MetricsRegistry` under the unified ``repro_``
+namespace, so one registry snapshot (JSON or Prometheus text) covers the
+cluster, adapter and fault counters that used to live in three places.
+Both the time series and the registry are *instance* state created in
+``__init__`` — nothing module-level survives a run, so two back-to-back
+simulations report identical numbers (tests/test_metrics_parity.py's
+reset-isolation test pins this)."""
 
 from __future__ import annotations
 
@@ -9,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.adapters.registry import Tier
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -90,42 +100,120 @@ class ClusterMetrics:
     recoveries: TimeSeries = field(default_factory=TimeSeries)
     """(recovery time, seconds since the fault) — one sample per fault
     whose displaced requests all reached a GPU (or terminal state) again."""
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    """The unified per-run registry every record_* call also feeds (the
+    tests/test_metrics_parity.py contract keeps both views exactly equal)."""
+
+    def __post_init__(self) -> None:
+        # Declare the full instrument schema up front so a snapshot of an
+        # idle run still exposes every metric (at zero) rather than a
+        # namespace that grows as events happen to occur.
+        r = self.registry
+        r.counter("requests_arrived_total", "request arrivals at the cluster")
+        r.counter("tokens_generated_total", "tokens generated by engine steps")
+        r.counter("engine_steps_total", "batched invocations per GPU",
+                  labels=("gpu",))
+        r.gauge("gpu_batch_size", "latest invocation batch size",
+                labels=("gpu",))
+        r.counter("adapter_loads_total", "demand adapter loads by hit tier",
+                  labels=("tier",))
+        r.counter("adapter_evictions_total",
+                  "adapters demoted out of a GPU pool")
+        r.counter("adapter_prefetch_issues_total",
+                  "speculative GPU promotions")
+        r.counter("adapter_prefetch_hits_total",
+                  "prefetched adapters a demand load used")
+        r.counter("pcie_busy_seconds_total", "host->GPU link busy time")
+        r.histogram("pcie_transfer_seconds",
+                    "per-transfer host->GPU copy time")
+        r.counter("faults_injected_total", "faults the injector applied")
+        r.counter("replacements_total",
+                  "in-flight requests re-placed after a fault")
+        r.counter("sheds_total", "requests shed with a FAILED terminal state")
+        r.histogram("recovery_latency_seconds",
+                    "seconds from fault injection to full re-admission")
 
     def record_arrival(self, t: float) -> None:
         self.arrivals.record(t, 1.0)
+        self.registry.counter(
+            "requests_arrived_total", "request arrivals at the cluster"
+        ).inc()
 
     def record_step(self, gpu_id: str, start: float, tokens: int, batch_size: int) -> None:
         self.tokens.record(start, float(tokens))
         self.gpu_batch_size.setdefault(gpu_id, TimeSeries()).record(start, float(batch_size))
+        self.registry.counter(
+            "tokens_generated_total", "tokens generated by engine steps"
+        ).inc(float(tokens))
+        self.registry.counter(
+            "engine_steps_total", "batched invocations per GPU", labels=("gpu",)
+        ).inc(gpu=gpu_id)
+        self.registry.gauge(
+            "gpu_batch_size", "latest invocation batch size", labels=("gpu",)
+        ).set(float(batch_size), gpu=gpu_id)
 
     # -- adapter lifecycle ------------------------------------------------
     def record_adapter_load(self, t: float, tier: "Tier | int") -> None:
         self.adapter_loads.record(t, float(int(tier)))
+        self.registry.counter(
+            "adapter_loads_total", "demand adapter loads by hit tier",
+            labels=("tier",),
+        ).inc(tier=Tier(int(tier)).name.lower())
 
     def record_adapter_eviction(self, t: float) -> None:
         self.adapter_evictions.record(t, 1.0)
+        self.registry.counter(
+            "adapter_evictions_total", "adapters demoted out of a GPU pool"
+        ).inc()
 
     def record_prefetch_issue(self, t: float) -> None:
         self.prefetch_issues.record(t, 1.0)
+        self.registry.counter(
+            "adapter_prefetch_issues_total", "speculative GPU promotions"
+        ).inc()
 
     def record_prefetch_hit(self, t: float) -> None:
         self.prefetch_hits.record(t, 1.0)
+        self.registry.counter(
+            "adapter_prefetch_hits_total",
+            "prefetched adapters a demand load used",
+        ).inc()
 
     def record_pcie_transfer(self, t: float, duration: float) -> None:
         self.pcie_busy.record(t, float(duration))
+        self.registry.counter(
+            "pcie_busy_seconds_total", "host->GPU link busy time"
+        ).inc(float(duration))
+        self.registry.histogram(
+            "pcie_transfer_seconds", "per-transfer host->GPU copy time"
+        ).observe(float(duration))
 
     # -- fault tolerance --------------------------------------------------
     def record_fault(self, t: float) -> None:
         self.faults_injected.record(t, 1.0)
+        self.registry.counter(
+            "faults_injected_total", "faults the injector applied"
+        ).inc()
 
     def record_replacement(self, t: float) -> None:
         self.replacements.record(t, 1.0)
+        self.registry.counter(
+            "replacements_total",
+            "in-flight requests re-placed after a fault",
+        ).inc()
 
     def record_shed(self, t: float) -> None:
         self.sheds.record(t, 1.0)
+        self.registry.counter(
+            "sheds_total", "requests shed with a FAILED terminal state"
+        ).inc()
 
     def record_recovery(self, t: float, latency: float) -> None:
         self.recoveries.record(t, float(latency))
+        self.registry.histogram(
+            "recovery_latency_seconds",
+            "seconds from fault injection to full re-admission",
+        ).observe(float(latency))
 
     def ingest_adapter_events(self, events) -> None:
         """Fold store event logs (see

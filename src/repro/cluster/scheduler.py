@@ -16,6 +16,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+from repro.obs.tracer import EventKind, Tracer
 from repro.runtime.request import Request, RequestState
 
 DEFAULT_MAX_BATCH_SIZE = 32
@@ -58,6 +59,7 @@ class PunicaScheduler:
         engines: "list",
         config: SchedulerConfig | None = None,
         prefetcher=None,
+        tracer: "Tracer | None" = None,
     ):
         if not engines:
             raise ValueError("scheduler needs at least one GPU engine")
@@ -67,6 +69,9 @@ class PunicaScheduler:
         self.engines = {e.gpu_id: e for e in engines}
         self.config = config or SchedulerConfig()
         self.prefetcher = prefetcher
+        self.tracer = tracer
+        """Optional :class:`~repro.obs.tracer.Tracer` receiving QUEUE and
+        MIGRATE events (engines emit their own PLACE/step events)."""
         """Optional :class:`~repro.adapters.prefetch.Prefetcher` that gets
         routing hints (queued requests' adapters are staged host-side)."""
         self._queue: list[tuple[float, int, Request]] = []
@@ -106,7 +111,13 @@ class PunicaScheduler:
         engine = self.engines.pop(gpu_id, None)
         if engine is None:
             raise KeyError(f"GPU {gpu_id} not in the pool")
-        return engine.fail(now)
+        displaced = engine.fail(now)
+        if self.tracer is not None:
+            for req in displaced:
+                self.tracer.emit(
+                    now, EventKind.QUEUE, req.request_id, gpu_id, reason="fault"
+                )
+        return displaced
 
     # ------------------------------------------------------------------
     @property
@@ -138,6 +149,11 @@ class PunicaScheduler:
             self.num_queued_total += 1
             if self.prefetcher is not None:
                 self.prefetcher.hint_queued(request.lora_id, now)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now, EventKind.QUEUE, request.request_id,
+                    reason="no_capacity", depth=len(self._queue),
+                )
             return None
         self.engines[gpu].add_request(request, now)
         return gpu
@@ -262,6 +278,11 @@ class PunicaScheduler:
                 target = self._migration_target(source_id, request)
                 if target is None:
                     continue
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        now, EventKind.MIGRATE, request.request_id, source_id,
+                        target=target,
+                    )
                 source.cancel(request.request_id, requeue=True)
                 self.engines[target].add_request(request, now)
                 moved += 1

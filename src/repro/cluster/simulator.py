@@ -22,6 +22,7 @@ from repro.cluster.events import EventLoop
 from repro.cluster.faults import FaultInjector, FaultKind, FaultSpec
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.scheduler import PunicaScheduler, SchedulerConfig
+from repro.obs.tracer import EventKind, Tracer
 from repro.runtime.request import Request, RequestState
 from repro.runtime.serve import requests_from_trace
 from repro.workloads.trace import Trace
@@ -81,6 +82,7 @@ class ClusterSimulator:
         registry=None,
         prefetcher=None,
         fault_injector: "FaultInjector | None" = None,
+        tracer: "Tracer | None" = None,
     ):
         """``registry`` (an :class:`~repro.adapters.registry.AdapterRegistry`)
         receives per-adapter arrival feeds for popularity EWMAs;
@@ -88,13 +90,26 @@ class ClusterSimulator:
         attached to every engine's loader and ticked periodically;
         ``fault_injector`` (a :class:`~repro.cluster.faults.FaultInjector`)
         schedules deterministic faults the simulator applies and recovers
-        from."""
-        self.scheduler = PunicaScheduler(engines, scheduler_config, prefetcher)
+        from; ``tracer`` (a :class:`~repro.obs.tracer.Tracer`) is threaded
+        through the scheduler, engines, adapter stores and injector so the
+        whole run emits one request-level event stream."""
+        self.scheduler = PunicaScheduler(engines, scheduler_config, prefetcher,
+                                         tracer=tracer)
         self.loop = EventLoop()
         self.metrics = ClusterMetrics()
         self.registry = registry
         self.prefetcher = prefetcher
         self.fault_injector = fault_injector
+        self.tracer = tracer
+        if tracer is not None:
+            for engine in self.scheduler.engines.values():
+                if hasattr(engine, "tracer"):
+                    engine.tracer = tracer
+                store = getattr(getattr(engine, "loader", None), "store", None)
+                if store is not None:
+                    store.tracer = tracer
+            if fault_injector is not None:
+                fault_injector.tracer = tracer
         if prefetcher is not None:
             prefetcher.attach(
                 {
@@ -165,6 +180,12 @@ class ClusterSimulator:
                 # the whole event loop.
                 return
             self.metrics.record_arrival(now)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now, EventKind.SUBMIT, req.request_id,
+                    lora=req.lora_id, prompt=req.spec.prompt_len,
+                    response=req.spec.response_len, retries=req.num_retries,
+                )
             if self.registry is not None and req.lora_id in self.registry:
                 self.registry.record_request(req.lora_id, now)
             if not self.scheduler.engines:
@@ -179,7 +200,9 @@ class ClusterSimulator:
     # ------------------------------------------------------------------
     # Cancellation (user disconnect — frontends call this)
     # ------------------------------------------------------------------
-    def cancel(self, request: Request, now: "float | None" = None) -> None:
+    def cancel(
+        self, request: Request, now: "float | None" = None, reason: str = "user"
+    ) -> None:
         """Cancel a request wherever it is, then re-admit queued work.
 
         The drain kick is load-bearing: cancelling the last running request
@@ -188,7 +211,11 @@ class ClusterSimulator:
         some other request finished — forever, if none was running.
         """
         now = self.loop.now if now is None else now
-        self.scheduler.cancel(request)
+        gpu = self.scheduler.cancel(request)
+        if self.tracer is not None:
+            self.tracer.emit(
+                now, EventKind.CANCEL, request.request_id, gpu, reason=reason
+            )
         placed = self.scheduler.drain_queue(now)
         for gid in set(placed):
             self._kick(gid, now)
@@ -386,6 +413,10 @@ class ClusterSimulator:
     def _shed(self, request: Request, now: float, reason: str) -> None:
         request.mark_failed(reason)
         self.metrics.record_shed(now)
+        if self.tracer is not None:
+            self.tracer.emit(
+                now, EventKind.SHED, request.request_id, reason=reason
+            )
 
     def _check_recoveries(self, now: float) -> None:
         """Record recovery latency once a fault's displaced set is fully

@@ -1,0 +1,47 @@
+"""Observability: request-level tracing, unified metrics, trace analysis.
+
+The serving stack (engine, scheduler, simulator, frontend, fault injector,
+adapter store) emits typed :class:`~repro.obs.tracer.TraceEvent` records
+into a :class:`~repro.obs.tracer.Tracer` while a
+:class:`~repro.obs.metrics.MetricsRegistry` unifies every counter behind
+one namespace with JSON and Prometheus-text export. Traces are fully
+deterministic under a fixed seed, which is what the golden-trace harness
+in ``tests/test_trace_golden.py`` locks down (docs/observability.md).
+"""
+
+from repro.obs.analysis import (
+    RequestBreakdown,
+    breakdown_table,
+    compute_breakdowns,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import EventKind, TraceEvent, Tracer
+
+_LAZY = ("SCENARIOS", "ScenarioResult", "run_scenario")
+
+
+def __getattr__(name: str):
+    # scenarios imports the cluster stack, which itself imports the tracer
+    # — loading it lazily keeps `repro.obs.tracer` importable from runtime
+    # modules without a cycle.
+    if name in _LAZY:
+        from repro.obs import scenarios
+
+        return getattr(scenarios, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Counter",
+    "EventKind",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RequestBreakdown",
+    "SCENARIOS",
+    "ScenarioResult",
+    "TraceEvent",
+    "Tracer",
+    "breakdown_table",
+    "compute_breakdowns",
+    "run_scenario",
+]

@@ -1,0 +1,263 @@
+"""Unified metrics registry: counter / gauge / histogram primitives.
+
+One :class:`MetricsRegistry` per simulation run unifies the counters that
+used to be scattered across :class:`~repro.cluster.metrics.ClusterMetrics`,
+the adapter store and the fault layer behind a single ``repro_`` namespace.
+Registries are deliberately *instance-scoped* — there is no module-level
+default registry, so two back-to-back runs can never bleed state into each
+other (the reset-isolation regression test in
+tests/test_metrics_parity.py holds this line).
+
+Exports: :meth:`MetricsRegistry.to_json` (a plain dict for archiving next
+to results) and :meth:`MetricsRegistry.render_prometheus` (the Prometheus
+text exposition format, for scraping a live deployment).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+DEFAULT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+"""Prometheus' classic latency buckets (seconds)."""
+
+
+def _validate_name(name: str) -> None:
+    if not name or not all(c.isalnum() or c == "_" for c in name):
+        raise ValueError(f"metric name must be [a-zA-Z0-9_]+, got {name!r}")
+
+
+def _label_key(
+    label_names: "tuple[str, ...]", labels: "dict[str, str]"
+) -> "tuple[str, ...]":
+    if set(labels) != set(label_names):
+        raise ValueError(
+            f"expected labels {sorted(label_names)}, got {sorted(labels)}"
+        )
+    return tuple(str(labels[n]) for n in label_names)
+
+
+def _render_labels(label_names: "tuple[str, ...]", key: "tuple[str, ...]") -> str:
+    if not label_names:
+        return ""
+    inner = ",".join(f'{n}="{v}"' for n, v in zip(label_names, key))
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing sum, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, label_names: "tuple[str, ...]" = ()):
+        _validate_name(name)
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._values: "dict[tuple[str, ...], float]" = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        key = _label_key(self.label_names, labels)
+        self._values[key] = self._values.get(key, 0.0) + float(amount)
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(self.label_names, labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        return float(sum(self._values.values()))
+
+    def to_json_obj(self) -> "dict[str, Any]":
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "values": {
+                ",".join(k) if k else "": v
+                for k, v in sorted(self._values.items())
+            },
+        }
+
+    def render(self) -> "list[str]":
+        lines = []
+        for key in sorted(self._values):
+            labels = _render_labels(self.label_names, key)
+            lines.append(f"{self.name}{labels} {self._values[key]}")
+        if not self._values and not self.label_names:
+            lines.append(f"{self.name} 0.0")
+        return lines
+
+
+class Gauge(Counter):
+    """A value that can go up and down (last write wins per label set)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        self._values[_label_key(self.label_names, labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(self.label_names, labels)
+        self._values[key] = self._values.get(key, 0.0) + float(amount)
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+
+class Histogram:
+    """Cumulative-bucket histogram with sum and count (Prometheus shape)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        buckets: "tuple[float, ...]" = DEFAULT_BUCKETS,
+    ):
+        _validate_name(name)
+        if not buckets or any(b <= a for b, a in zip(buckets[1:], buckets)):
+            raise ValueError(f"buckets must be strictly increasing: {buckets}")
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for i, upper in enumerate(self.buckets):
+            if value <= upper:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_json_obj(self) -> "dict[str, Any]":
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self.bucket_counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def render(self) -> "list[str]":
+        lines = []
+        cumulative = 0
+        for upper, n in zip(self.buckets, self.bucket_counts):
+            cumulative += n
+            lines.append(f'{self.name}_bucket{{le="{upper}"}} {cumulative}')
+        cumulative += self.bucket_counts[-1]
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{self.name}_sum {self.sum}")
+        lines.append(f"{self.name}_count {self.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Get-or-create registry for one run's metrics.
+
+    ``counter``/``gauge``/``histogram`` are idempotent on the name: the
+    first call creates the instrument, later calls return it (and reject a
+    kind or label mismatch, which would silently fork the namespace).
+    """
+
+    def __init__(self, namespace: str = "repro"):
+        _validate_name(namespace)
+        self.namespace = namespace
+        self._metrics: "dict[str, Counter | Gauge | Histogram]" = {}
+
+    def __contains__(self, name: str) -> bool:
+        return self._qualify(name) in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _qualify(self, name: str) -> str:
+        prefix = self.namespace + "_"
+        return name if name.startswith(prefix) else prefix + name
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        name = self._qualify(name)
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ValueError(
+                    f"{name} already registered as {existing.kind}, "
+                    f"cannot re-register as {cls.kind}"
+                )
+            expect = kwargs.get("label_names")
+            if expect is not None and tuple(expect) != existing.label_names:
+                raise ValueError(
+                    f"{name} registered with labels {existing.label_names}, "
+                    f"got {tuple(expect)}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: "tuple[str, ...]" = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, label_names=tuple(labels))
+
+    def gauge(
+        self, name: str, help: str = "", labels: "tuple[str, ...]" = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, label_names=tuple(labels))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: "tuple[float, ...]" = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=tuple(buckets))
+
+    def get(self, name: str) -> "Counter | Gauge | Histogram":
+        return self._metrics[self._qualify(name)]
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    # -- export ----------------------------------------------------------
+    def to_json(self) -> "dict[str, Any]":
+        """Plain-dict snapshot (stable key order) for JSON archiving."""
+        return {
+            name: self._metrics[name].to_json_obj() for name in self.names()
+        }
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format."""
+        out = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if metric.help:
+                out.append(f"# HELP {name} {metric.help}")
+            out.append(f"# TYPE {name} {metric.kind}")
+            out.extend(metric.render())
+        return "\n".join(out) + ("\n" if out else "")
+
+    def assert_finite(self) -> None:
+        """Sanity guard for exports: no NaN/inf ever leaves the registry."""
+        for name in self.names():
+            metric = self._metrics[name]
+            values = (
+                [metric.sum]
+                if isinstance(metric, Histogram)
+                else list(metric._values.values())
+            )
+            for v in values:
+                if not math.isfinite(v):
+                    raise ValueError(f"{name} holds a non-finite value {v}")

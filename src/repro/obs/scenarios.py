@@ -1,0 +1,143 @@
+"""Seeded serving scenarios shared by the golden-trace harness and CLI.
+
+Each scenario builds a workload + serving stack from nothing but a seed,
+runs it with a fresh :class:`~repro.obs.tracer.Tracer`, and returns the
+trace plus the run's metrics. The three scenarios cover the stack's three
+regimes:
+
+* ``single_gpu`` — mixed prefill/decode continuous batching on one engine
+  (the Fig 11 path, via :func:`~repro.runtime.serve.serve_requests`);
+* ``cluster_migration`` — a 4-GPU cluster under load with consolidation
+  migration enabled (the Fig 13 / §5.3 path);
+* ``faults`` — the same cluster under a scripted fault plan (crash,
+  slowdown, PCIe stall) exercising the recovery machinery.
+
+``tests/test_trace_golden.py`` replays these against checked-in JSONL
+fixtures; ``repro trace`` runs them from the shell. Keep them small —
+golden diffs should be reviewable — and above all *deterministic*: no
+wall-clock, no unseeded randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+from repro.cluster.faults import FaultInjector, FaultKind, FaultSpec
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.scheduler import SchedulerConfig
+from repro.cluster.simulator import ClusterSimulator
+from repro.models.config import LLAMA2_7B
+from repro.obs.tracer import Tracer
+from repro.runtime.backend import SimulatedBackend
+from repro.runtime.engine import EngineConfig, GpuEngine
+from repro.runtime.request import Request
+from repro.runtime.serve import requests_from_trace, serve_requests
+from repro.workloads.arrivals import PoissonArrivals, constant_rate
+from repro.workloads.lengths import ShareGptLengths
+from repro.workloads.trace import Trace, generate_trace
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario run: the trace, the workload and the metrics."""
+
+    name: str
+    tracer: Tracer
+    requests: "list[Request]"
+    metrics: "ClusterMetrics | None"
+    """None for the single-GPU driver (it has no ClusterMetrics)."""
+
+
+def _short_lengths() -> ShareGptLengths:
+    return ShareGptLengths(max_prompt_len=48, max_response_len=8)
+
+
+def _open_loop(seed: int, rate: float, duration: float) -> Trace:
+    arrivals = PoissonArrivals(rate=constant_rate(rate), duration=duration)
+    return generate_trace(
+        int(rate * duration) + 16, "skewed", seed=seed,
+        lengths=_short_lengths(), arrivals=arrivals,
+    )
+
+
+def _engine(
+    gpu_id: str, max_batch_size: int, step_overhead: float = 0.0
+) -> GpuEngine:
+    # The inflated step overhead slows "GPUs" down so a few-second trace
+    # saturates the pool — queueing and consolidation migration fire
+    # without thousands of decode events bloating the golden fixtures.
+    return GpuEngine(
+        gpu_id,
+        SimulatedBackend(LLAMA2_7B, step_overhead=step_overhead),
+        EngineConfig(max_batch_size=max_batch_size),
+    )
+
+
+def run_single_gpu(seed: int = 0) -> ScenarioResult:
+    """Mixed prefill/decode on one engine: arrivals stagger so prefills
+    join live decode batches (the §5 continuous-batching property)."""
+    trace = _open_loop(seed, rate=2.0, duration=8.0)
+    requests = requests_from_trace(trace)
+    tracer = Tracer()
+    serve_requests(_engine("gpu00", max_batch_size=8), requests, tracer=tracer)
+    return ScenarioResult("single_gpu", tracer, requests, metrics=None)
+
+
+def _cluster(tracer: Tracer, fault_injector=None) -> ClusterSimulator:
+    return ClusterSimulator(
+        [
+            _engine(f"gpu{i:02d}", max_batch_size=4, step_overhead=0.1)
+            for i in range(4)
+        ],
+        SchedulerConfig(migration_interval=1.0, light_load_fraction=0.5),
+        fault_injector=fault_injector,
+        tracer=tracer,
+    )
+
+
+def run_cluster_migration(seed: int = 0) -> ScenarioResult:
+    """4-GPU cluster loaded past its capacity: requests queue FCFS, and
+    the tail drains unevenly enough for consolidation migration to fire
+    (§5.3)."""
+    trace = _open_loop(seed, rate=16.0, duration=4.0)
+    tracer = Tracer()
+    result = _cluster(tracer).run(trace)
+    return ScenarioResult(
+        "cluster_migration", tracer, result.requests, metrics=result.metrics
+    )
+
+
+def run_faults(seed: int = 0) -> ScenarioResult:
+    """The cluster under a scripted fault plan: a slowdown window, a PCIe
+    stall, then a mid-run GPU crash recovered via §5.3 re-placement."""
+    trace = _open_loop(seed, rate=12.0, duration=4.0)
+    injector = FaultInjector(
+        [
+            FaultSpec(kind=FaultKind.GPU_SLOWDOWN, time=1.0, duration=1.0,
+                      factor=4.0),
+            FaultSpec(kind=FaultKind.PCIE_STALL, time=1.5, duration=0.5),
+            FaultSpec(kind=FaultKind.GPU_CRASH, time=2.0),
+        ],
+        seed=seed,
+    )
+    tracer = Tracer()
+    result = _cluster(tracer, fault_injector=injector).run(trace)
+    return ScenarioResult("faults", tracer, result.requests, metrics=result.metrics)
+
+
+SCENARIOS: "dict[str, Callable[[int], ScenarioResult]]" = {
+    "single_gpu": run_single_gpu,
+    "cluster_migration": run_cluster_migration,
+    "faults": run_faults,
+}
+
+
+def run_scenario(name: str, seed: int = 0) -> ScenarioResult:
+    try:
+        runner = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; pick one of {sorted(SCENARIOS)}"
+        ) from None
+    return runner(seed)

@@ -1,0 +1,183 @@
+"""Structured request-level tracing (the §6 per-request timelines).
+
+Every component of the serving stack emits typed, timestamped
+:class:`TraceEvent` records into one :class:`Tracer`: the cluster
+simulator stamps SUBMIT/SHED, the scheduler QUEUE/MIGRATE, the engine
+PLACE/PREFILL/DECODE_STEP/FINISH, the fault injector FAULT, the frontend
+CANCEL, and the adapter store ADAPTER_LOAD. Timestamps come from the
+simulated clock, so under a fixed seed a trace is *byte-identical* across
+runs — the property the golden-trace harness (tests/test_trace_golden.py)
+turns into a whole-stack regression fixture.
+
+Serialization is canonical JSONL: one event per line, keys sorted,
+minimal separators, floats via ``repr`` round-tripping (see
+docs/observability.md for the schema).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class EventKind(enum.Enum):
+    """The event taxonomy — one request's life, plus cluster-level marks."""
+
+    SUBMIT = "SUBMIT"
+    """Request arrival reached the cluster (attrs: lora, prompt, response)."""
+    QUEUE = "QUEUE"
+    """Request entered (or re-entered) the FCFS wait queue (attrs: reason)."""
+    PLACE = "PLACE"
+    """Request admitted onto a GPU engine's working set."""
+    PREFILL = "PREFILL"
+    """Prefill invocation finished (time = step end; attrs: start, tokens)."""
+    DECODE_STEP = "DECODE_STEP"
+    """One decode token landed (time = step end; attrs: start, token_index)."""
+    ADAPTER_LOAD = "ADAPTER_LOAD"
+    """Demand adapter load on a GPU (attrs: lora, tier, copy_s, nbytes)."""
+    MIGRATE = "MIGRATE"
+    """Consolidation moved the request (attrs: source, target)."""
+    FAULT = "FAULT"
+    """Injected fault fired (attrs: fault, applied; request_id is None)."""
+    CANCEL = "CANCEL"
+    """Request cancelled (attrs: reason = user | deadline)."""
+    FINISH = "FINISH"
+    """Request completed normally (attrs: tokens)."""
+    SHED = "SHED"
+    """Request dropped with a FAILED terminal state (attrs: reason)."""
+
+
+TERMINAL_KINDS = (EventKind.FINISH, EventKind.SHED, EventKind.CANCEL)
+"""Kinds that end a request's timeline (CANCEL may be followed by a retry
+re-SUBMIT, in which case the timeline continues)."""
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped, typed record in a request trace."""
+
+    seq: int
+    """Global emission order — ties on ``time`` replay deterministically."""
+    time: float
+    kind: EventKind
+    request_id: "str | None" = None
+    gpu_id: "str | None" = None
+    attrs: "dict[str, Any]" = field(default_factory=dict)
+
+    def to_json_obj(self) -> "dict[str, Any]":
+        obj: "dict[str, Any]" = {
+            "seq": self.seq, "t": self.time, "kind": self.kind.value,
+        }
+        if self.request_id is not None:
+            obj["req"] = self.request_id
+        if self.gpu_id is not None:
+            obj["gpu"] = self.gpu_id
+        if self.attrs:
+            obj["attrs"] = self.attrs
+        return obj
+
+    @classmethod
+    def from_json_obj(cls, obj: "dict[str, Any]") -> "TraceEvent":
+        return cls(
+            seq=int(obj["seq"]),
+            time=float(obj["t"]),
+            kind=EventKind(obj["kind"]),
+            request_id=obj.get("req"),
+            gpu_id=obj.get("gpu"),
+            attrs=dict(obj.get("attrs", {})),
+        )
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records from instrumentation hooks.
+
+    A tracer is per-run state, like :class:`~repro.cluster.metrics.ClusterMetrics`:
+    construct a fresh one per simulation and thread it through the
+    components (``ClusterSimulator(..., tracer=...)`` does the threading).
+    """
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def emit(
+        self,
+        time: float,
+        kind: EventKind,
+        request_id: "str | None" = None,
+        gpu_id: "str | None" = None,
+        **attrs: Any,
+    ) -> TraceEvent:
+        """Record one event; attrs must be JSON-serializable."""
+        event = TraceEvent(
+            seq=self._seq,
+            time=float(time),
+            kind=kind,
+            request_id=request_id,
+            gpu_id=gpu_id,
+            attrs=attrs,
+        )
+        self.events.append(event)
+        self._seq += 1
+        return event
+
+    # -- queries ---------------------------------------------------------
+    def for_request(self, request_id: str) -> list[TraceEvent]:
+        """One request's timeline, in causal (time, seq) order."""
+        return sorted(
+            (e for e in self.events if e.request_id == request_id),
+            key=lambda e: (e.time, e.seq),
+        )
+
+    def request_ids(self) -> list[str]:
+        return sorted({e.request_id for e in self.events if e.request_id})
+
+    def by_kind(self, kind: EventKind) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    def sorted_events(self) -> list[TraceEvent]:
+        """Every event in causal order (time, then emission order).
+
+        Events appended late (e.g. adapter logs drained at run end) sort
+        into their true timeline position; ``seq`` keeps ties stable.
+        """
+        return sorted(self.events, key=lambda e: (e.time, e.seq))
+
+    # -- serialization ---------------------------------------------------
+    def dumps_jsonl(self) -> str:
+        """Canonical JSONL: sorted keys, compact separators, repr floats.
+
+        Identical event sequences serialize to byte-identical text — the
+        contract the golden fixtures and the CI trace-determinism job
+        enforce.
+        """
+        lines = [
+            json.dumps(e.to_json_obj(), sort_keys=True, separators=(",", ":"))
+            for e in self.sorted_events()
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def dump_jsonl(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.dumps_jsonl())
+
+    @classmethod
+    def loads_jsonl(cls, text: str) -> "Tracer":
+        tracer = cls()
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            event = TraceEvent.from_json_obj(json.loads(line))
+            tracer.events.append(event)
+            tracer._seq = max(tracer._seq, event.seq + 1)
+        return tracer
+
+    @classmethod
+    def load_jsonl(cls, path) -> "Tracer":
+        with open(path) as fh:
+            return cls.loads_jsonl(fh.read())

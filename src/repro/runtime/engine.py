@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.batch import BatchEntry, plan_batch
+from repro.obs.tracer import EventKind, Tracer
 from repro.runtime.loader import LoraLoader
 from repro.runtime.request import Request
 
@@ -86,11 +87,15 @@ class GpuEngine:
         backend,
         config: EngineConfig | None = None,
         loader: LoraLoader | None = None,
+        tracer: "Tracer | None" = None,
     ):
         self.gpu_id = gpu_id
         self.backend = backend
         self.config = config or EngineConfig()
         self.loader = loader or LoraLoader()
+        self.tracer = tracer
+        """Optional :class:`~repro.obs.tracer.Tracer` receiving PLACE /
+        PREFILL / DECODE_STEP / FINISH / QUEUE(evicted) events."""
         self._working: dict[str, _Slot] = {}
         self._pending: list[_Slot] = []
         self._admit_seq = 0
@@ -194,6 +199,11 @@ class GpuEngine:
         request.mark_running(self.gpu_id, now)
         self._pending.append(_Slot(request=request, admit_seq=self._admit_seq))
         self._admit_seq += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                now, EventKind.PLACE, request.request_id, self.gpu_id,
+                lora=request.lora_id,
+            )
 
     def cancel(self, request_id: str, requeue: bool = False) -> Request:
         """Remove a request: user cancellation, or migration step 1 (§5.3).
@@ -265,6 +275,12 @@ class GpuEngine:
             past_lens[rid] = past
             decode_slots.append(slot)
 
+        if self.tracer is not None:
+            for rid in evicted:
+                self.tracer.emit(
+                    now, EventKind.QUEUE, rid, self.gpu_id, reason="evicted"
+                )
+
         prefill_slots = self._select_prefills(now)
         if not decode_slots and not prefill_slots:
             if evicted:
@@ -325,6 +341,9 @@ class GpuEngine:
             self.loader.release(slot.request.lora_id)
             slot.request.mark_finished(end)
 
+        if self.tracer is not None:
+            self._trace_step(now, end, prefill_slots, decode_slots, finished)
+
         return StepReport(
             gpu_id=self.gpu_id,
             start=now,
@@ -339,6 +358,40 @@ class GpuEngine:
         )
 
     # ------------------------------------------------------------------
+    def _trace_step(
+        self,
+        now: float,
+        end: float,
+        prefill_slots: "list[_Slot]",
+        decode_slots: "list[_Slot]",
+        finished: "list[str]",
+    ) -> None:
+        """Emit the invocation's per-request PREFILL / DECODE_STEP / FINISH
+        events (time = step end; the ``start`` attr carries the step start,
+        which the latency breakdown closes segments at)."""
+        for slot in prefill_slots:
+            req = slot.request
+            self.tracer.emit(
+                end, EventKind.PREFILL, req.request_id, self.gpu_id,
+                start=now,
+                tokens=req.spec.prompt_len + max(0, req.num_generated - 1),
+            )
+        for slot in decode_slots:
+            req = slot.request
+            self.tracer.emit(
+                end, EventKind.DECODE_STEP, req.request_id, self.gpu_id,
+                start=now, token_index=req.num_generated - 1,
+            )
+        for rid in finished:
+            req = next(
+                s.request
+                for s in prefill_slots + decode_slots
+                if s.request.request_id == rid
+            )
+            self.tracer.emit(
+                end, EventKind.FINISH, rid, self.gpu_id, tokens=req.num_generated
+            )
+
     def _is_finished(self, req: Request, token: int) -> bool:
         if req.reached_limit():
             return True

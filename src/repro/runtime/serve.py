@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.tracer import EventKind, Tracer
 from repro.runtime.engine import GpuEngine, StepReport
 from repro.runtime.request import Request, RequestState
 from repro.utils.rng import new_rng
@@ -98,6 +99,7 @@ def serve_requests(
     start_time: float = 0.0,
     max_steps: int | None = None,
     keep_steps: bool = True,
+    tracer: "Tracer | None" = None,
 ) -> ServeResult:
     """Serve ``requests`` to completion on one engine, FCFS.
 
@@ -106,8 +108,20 @@ def serve_requests(
     queue keyed by their original arrival time, which reproduces the
     paper's "scheduling for the evicted request is the same as adding a
     new request" under FCFS order.
+
+    With a ``tracer``, the driver emits SUBMIT at each arrival and wires
+    the engine to emit PLACE / PREFILL / DECODE_STEP / FINISH, so the
+    single-GPU path produces the same event stream the cluster does.
     """
     clock = start_time
+    if tracer is not None:
+        engine.tracer = tracer
+        for req in requests:
+            tracer.emit(
+                req.spec.arrival_time, EventKind.SUBMIT, req.request_id,
+                lora=req.lora_id, prompt=req.spec.prompt_len,
+                response=req.spec.response_len, retries=req.num_retries,
+            )
     heap: list[tuple[float, int, Request]] = []
     seq = 0
     for req in requests:

@@ -1,0 +1,131 @@
+"""Unit tests for the metrics primitives and the registry's exports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_total(self):
+        c = Counter("hits_total", "hits")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+        assert c.total() == 3.5
+
+    def test_labels_split_series(self):
+        c = Counter("loads_total", "loads", label_names=("tier",))
+        c.inc(tier="gpu")
+        c.inc(3, tier="host")
+        assert c.value(tier="gpu") == 1.0
+        assert c.value(tier="host") == 3.0
+        assert c.value(tier="disk") == 0.0
+        assert c.total() == 4.0
+
+    def test_rejects_negative_and_bad_labels(self):
+        c = Counter("n_total", "n", label_names=("gpu",))
+        with pytest.raises(ValueError):
+            c.inc(-1, gpu="g0")
+        with pytest.raises(ValueError):
+            c.inc(1)  # missing label
+        with pytest.raises(ValueError):
+            c.inc(1, gpu="g0", extra="x")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad-name", "nope")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth", "queue depth")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value() == 6.0
+        g.set(-3)  # gauges may go negative
+        assert g.value() == -3.0
+
+
+class TestHistogram:
+    def test_observe_buckets_cumulatively(self):
+        h = Histogram("lat", "latency", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(6.05)
+        assert h.mean() == pytest.approx(6.05 / 4)
+        lines = h.render()
+        assert 'lat_bucket{le="0.1"} 1' in lines
+        assert 'lat_bucket{le="1.0"} 3' in lines
+        assert 'lat_bucket{le="+Inf"} 4' in lines
+        assert "lat_count 4" in lines
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", "", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            Histogram("h", "", buckets=())
+        assert Histogram("h", "").buckets == DEFAULT_BUCKETS
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "x")
+        b = reg.counter("x_total")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_namespace_prefix_applied_once(self):
+        reg = MetricsRegistry(namespace="repro")
+        c = reg.counter("x_total")
+        assert c.name == "repro_x_total"
+        assert reg.counter("repro_x_total") is c
+        assert "x_total" in reg and "repro_x_total" in reg
+
+    def test_kind_and_label_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labels=("gpu",))
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+        with pytest.raises(ValueError):
+            reg.counter("x_total", labels=("tier",))
+
+    def test_to_json_is_serializable_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total").inc()
+        reg.histogram("a_seconds").observe(0.2)
+        snapshot = reg.to_json()
+        assert list(snapshot) == sorted(snapshot)
+        json.dumps(snapshot)  # must be plain data
+
+    def test_prometheus_exposition_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", "requests", labels=("gpu",)).inc(gpu="g0")
+        reg.gauge("depth", "queue depth").set(2)
+        reg.histogram("lat_seconds", "latency", buckets=(1.0,)).observe(0.5)
+        text = reg.render_prometheus()
+        assert "# HELP repro_req_total requests" in text
+        assert "# TYPE repro_req_total counter" in text
+        assert 'repro_req_total{gpu="g0"} 1.0' in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "# TYPE repro_lat_seconds histogram" in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 1' in text
+        assert text.endswith("\n")
+
+    def test_assert_finite_catches_poison(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(float("nan"))
+        with pytest.raises(ValueError):
+            reg.assert_finite()

@@ -1,0 +1,97 @@
+"""Unit tests for the tracer: typed events, canonical JSONL round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.tracer import EventKind, TERMINAL_KINDS, TraceEvent, Tracer
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.emit(0.0, EventKind.SUBMIT, request_id="req-0", lora="lora-1",
+                prompt=32, response=8)
+    tracer.emit(0.001, EventKind.PLACE, request_id="req-0", gpu_id="gpu00",
+                lora="lora-1")
+    tracer.emit(0.004, EventKind.ADAPTER_LOAD, gpu_id="gpu00", lora="lora-1",
+                tier="host", ready_in=0.003, nbytes=1 << 20)
+    tracer.emit(0.02, EventKind.PREFILL, request_id="req-0", gpu_id="gpu00",
+                start=0.004, tokens=32)
+    tracer.emit(0.05, EventKind.DECODE_STEP, request_id="req-0",
+                gpu_id="gpu00", start=0.02, token_index=0)
+    tracer.emit(0.08, EventKind.FINISH, request_id="req-0", gpu_id="gpu00",
+                tokens=8)
+    return tracer
+
+
+def test_emit_assigns_monotonic_seq():
+    tracer = _sample_tracer()
+    assert [e.seq for e in tracer.events] == list(range(6))
+
+
+def test_events_are_immutable():
+    event = _sample_tracer().events[0]
+    with pytest.raises(AttributeError):
+        event.time = 99.0
+
+
+def test_jsonl_round_trip_is_lossless():
+    tracer = _sample_tracer()
+    text = tracer.dumps_jsonl()
+    assert text.endswith("\n")
+    loaded = Tracer.loads_jsonl(text)
+    assert loaded.events == tracer.events
+    assert loaded.dumps_jsonl() == text
+
+
+def test_jsonl_is_canonical_bytes():
+    """Serialization is key-sorted, separator-stable and repr-exact —
+    the property the byte-for-byte golden comparison relies on."""
+    tracer = Tracer()
+    tracer.emit(0.1 + 0.2, EventKind.SUBMIT, request_id="r", z=1, a=2)
+    line = tracer.dumps_jsonl().rstrip("\n")
+    assert line == (
+        '{"attrs":{"a":2,"z":1},"kind":"SUBMIT","req":"r",'
+        '"seq":0,"t":0.30000000000000004}'
+    )
+
+
+def test_file_round_trip(tmp_path):
+    tracer = _sample_tracer()
+    path = tmp_path / "trace.jsonl"
+    tracer.dump_jsonl(path)
+    assert Tracer.load_jsonl(path).events == tracer.events
+
+
+def test_none_fields_are_omitted():
+    tracer = Tracer()
+    tracer.emit(1.0, EventKind.FAULT, gpu_id="gpu01", fault="gpu_crash")
+    obj = tracer.events[0].to_json_obj()
+    assert "req" not in obj
+    assert obj["gpu"] == "gpu01"
+    restored = TraceEvent.from_json_obj(obj)
+    assert restored.request_id is None
+    assert restored == tracer.events[0]
+
+
+def test_query_helpers():
+    tracer = _sample_tracer()
+    tracer.emit(0.09, EventKind.SUBMIT, request_id="req-1")
+    assert tracer.request_ids() == ["req-0", "req-1"]
+    assert [e.kind for e in tracer.for_request("req-0")][0] is EventKind.SUBMIT
+    assert len(tracer.by_kind(EventKind.SUBMIT)) == 2
+    assert TERMINAL_KINDS == (EventKind.FINISH, EventKind.SHED, EventKind.CANCEL)
+
+
+def test_sorted_events_orders_by_time_then_seq():
+    tracer = Tracer()
+    tracer.emit(2.0, EventKind.SUBMIT, request_id="b")
+    tracer.emit(1.0, EventKind.SUBMIT, request_id="a")
+    tracer.emit(1.0, EventKind.PLACE, request_id="a", gpu_id="g")
+    ordered = tracer.sorted_events()
+    assert [(e.time, e.seq) for e in ordered] == [(1.0, 1), (1.0, 2), (2.0, 0)]
+
+
+def test_unknown_kind_rejected_on_load():
+    with pytest.raises((KeyError, ValueError)):
+        Tracer.loads_jsonl('{"kind":"NOT_A_KIND","seq":0,"t":0.0}\n')
