@@ -44,16 +44,18 @@ def build_cluster(
     gpu: GpuSpec = A100_40G,
     max_batch_size: int = 32,
     scheduler_config: SchedulerConfig | None = None,
+    fast_path: bool | None = None,
 ) -> ClusterSimulator:
     engines = [
         GpuEngine(
             f"gpu{i:02d}",
-            SimulatedBackend(config, gpu=gpu),
+            SimulatedBackend(config, gpu=gpu, fast_path=fast_path),
             EngineConfig(max_batch_size=max_batch_size),
+            fast_path=fast_path,
         )
         for i in range(num_gpus)
     ]
-    return ClusterSimulator(engines, scheduler_config)
+    return ClusterSimulator(engines, scheduler_config, fast_path=fast_path)
 
 
 def run_fig13_simulation(
@@ -62,6 +64,7 @@ def run_fig13_simulation(
     gpu: GpuSpec = A100_40G,
     seed: int = 0,
     scheduler_config: SchedulerConfig | None = None,
+    fast_path: bool | None = None,
 ) -> "tuple[SimulationResult, Fig13Scale]":
     scale = scale or (PAPER if paper_scale() else QUICK)
     arrivals = PoissonArrivals(
@@ -73,7 +76,8 @@ def run_fig13_simulation(
     n_specs = int(scale.duration * scale.peak_rate) + 64
     trace = generate_trace(n_specs, "skewed", seed=seed, arrivals=arrivals)
     sim = build_cluster(
-        scale.num_gpus, config=config, gpu=gpu, scheduler_config=scheduler_config
+        scale.num_gpus, config=config, gpu=gpu, scheduler_config=scheduler_config,
+        fast_path=fast_path,
     )
     result = sim.run(trace)
     return result, scale

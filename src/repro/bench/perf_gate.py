@@ -1,0 +1,231 @@
+"""Performance-regression gate for the fast-path simulation engine.
+
+The fast path (``REPRO_FASTPATH``) exists to make the cluster simulator
+cheap enough to iterate on, and its whole value evaporates if a refactor
+quietly slows it back down. This module measures the Figure-13 cluster
+scenario through both engine paths, cross-checks that they produced the
+same simulation (the differential suite's bit-identity contract, asserted
+again here on the summary), and compares the measurements against
+thresholds checked into ``benchmarks/BENCH_perf.json``.
+
+Three layers, so CI and humans share one code path:
+
+* :func:`measure` — run the scenario through both paths and time them;
+* :func:`evaluate_gate` — pure threshold logic (unit-testable, no clocks);
+* :func:`run_perf_gate` — FigureTable wrapper for ``python -m repro perf``.
+
+``benchmarks/bench_perf_gate.py`` is the CI entry point: it calls
+:func:`measure` (twice under ``--check`` to bound run-to-run variance)
+and fails the build on any gate violation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from time import perf_counter
+
+from repro.bench.fig13_cluster import QUICK, Fig13Scale, run_fig13_simulation
+from repro.bench.reporting import FigureTable
+
+#: Default location of the checked-in thresholds + last recorded numbers.
+BENCH_JSON = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "BENCH_perf.json"
+
+#: Gate thresholds used when the JSON file is missing its ``thresholds``
+#: key. ``min_requests_per_s`` is deliberately conservative: shared CI
+#: runners are several times slower than a quiet workstation, and the
+#: floor exists to catch order-of-magnitude regressions, not jitter.
+DEFAULT_THRESHOLDS = {
+    "min_speedup": 3.0,
+    "min_requests_per_s": 150.0,
+    "max_variance": 0.20,
+}
+
+
+@dataclass(frozen=True)
+class PerfMeasurement:
+    """One timed fast-vs-reference run of the Figure-13 scenario."""
+
+    scenario: str
+    seed: int
+    fast_wall_s: float
+    ref_wall_s: float
+    finished_requests: int
+    tokens_generated: int
+    events_processed: int
+    sim_duration_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.ref_wall_s / self.fast_wall_s
+
+    @property
+    def fast_requests_per_s(self) -> float:
+        """Finished simulated requests per wall-clock second, fast path."""
+        return self.finished_requests / self.fast_wall_s
+
+    @property
+    def fast_tokens_per_s(self) -> float:
+        return self.tokens_generated / self.fast_wall_s
+
+    def to_json(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "fast_wall_s": round(self.fast_wall_s, 4),
+            "ref_wall_s": round(self.ref_wall_s, 4),
+            "speedup": round(self.speedup, 3),
+            "fast_requests_per_s": round(self.fast_requests_per_s, 1),
+            "fast_tokens_per_s": round(self.fast_tokens_per_s, 1),
+            "finished_requests": self.finished_requests,
+            "tokens_generated": self.tokens_generated,
+            "events_processed": self.events_processed,
+            "sim_duration_s": self.sim_duration_s,
+        }
+
+
+def _summary(result) -> tuple:
+    return (
+        result.events_processed,
+        result.finished_requests,
+        result.failed_requests,
+        result.tokens_generated,
+        result.num_migrations,
+        result.duration,
+    )
+
+
+def measure(
+    seed: int = 0, scale: "Fig13Scale | None" = None, scenario: str = "fig13_quick"
+) -> PerfMeasurement:
+    """Time the Figure-13 cluster scenario through both engine paths.
+
+    The reference run doubles as an equivalence check: if the two paths
+    disagree on the simulation summary, the timing numbers are meaningless
+    and we raise instead of reporting them.
+    """
+    scale = scale or QUICK
+    t0 = perf_counter()
+    fast, _ = run_fig13_simulation(scale=scale, seed=seed, fast_path=True)
+    fast_wall = perf_counter() - t0
+    t0 = perf_counter()
+    ref, _ = run_fig13_simulation(scale=scale, seed=seed, fast_path=False)
+    ref_wall = perf_counter() - t0
+    if _summary(fast) != _summary(ref):
+        raise AssertionError(
+            "fast and reference paths diverged on the benchmark scenario: "
+            f"{_summary(fast)} != {_summary(ref)} — timing numbers discarded"
+        )
+    return PerfMeasurement(
+        scenario=scenario,
+        seed=seed,
+        fast_wall_s=fast_wall,
+        ref_wall_s=ref_wall,
+        finished_requests=fast.finished_requests,
+        tokens_generated=fast.tokens_generated,
+        events_processed=fast.events_processed,
+        sim_duration_s=fast.duration,
+    )
+
+
+def evaluate_gate(
+    measurements: "list[PerfMeasurement]", thresholds: "dict | None" = None
+) -> "list[str]":
+    """Pure gate logic: return the list of violations (empty = pass).
+
+    With two or more measurements the run-to-run variance of the fast
+    wall-clock is bounded too — a noisy runner should fail loudly rather
+    than let a lucky sample mask a real regression (or vice versa).
+    """
+    if not measurements:
+        raise ValueError("evaluate_gate needs at least one measurement")
+    th = dict(DEFAULT_THRESHOLDS)
+    th.update(thresholds or {})
+    failures: "list[str]" = []
+    worst_speedup = min(m.speedup for m in measurements)
+    if worst_speedup < th["min_speedup"]:
+        failures.append(
+            f"speedup {worst_speedup:.2f}x below floor {th['min_speedup']:.2f}x"
+        )
+    worst_rps = min(m.fast_requests_per_s for m in measurements)
+    if worst_rps < th["min_requests_per_s"]:
+        failures.append(
+            f"fast-path throughput {worst_rps:.0f} req/s below floor "
+            f"{th['min_requests_per_s']:.0f} req/s"
+        )
+    if len(measurements) >= 2:
+        walls = [m.fast_wall_s for m in measurements]
+        variance = (max(walls) - min(walls)) / min(walls)
+        if variance > th["max_variance"]:
+            failures.append(
+                f"run-to-run variance {variance:.1%} exceeds "
+                f"{th['max_variance']:.0%} — runner too noisy to gate on"
+            )
+    return failures
+
+
+def load_thresholds(path: "pathlib.Path | None" = None) -> dict:
+    """Thresholds from the checked-in JSON, with defaults filled in."""
+    path = path or BENCH_JSON
+    th = dict(DEFAULT_THRESHOLDS)
+    if path.exists():
+        data = json.loads(path.read_text())
+        th.update(data.get("thresholds", {}))
+    return th
+
+
+def write_results(
+    measurements: "list[PerfMeasurement]",
+    path: "pathlib.Path | None" = None,
+    thresholds: "dict | None" = None,
+) -> dict:
+    """Serialise measurements (plus the active thresholds) to JSON."""
+    path = path or BENCH_JSON
+    payload = {
+        "thresholds": dict(thresholds or load_thresholds(path)),
+        "results": [m.to_json() for m in measurements],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def run_perf_gate(
+    seed: int = 0,
+    rounds: int = 1,
+    scale: "Fig13Scale | None" = None,
+    json_path: "pathlib.Path | None" = None,
+    write_json: bool = False,
+) -> "tuple[FigureTable, list[str]]":
+    """Run the gate and render a FigureTable (the ``repro perf`` command)."""
+    thresholds = load_thresholds(json_path)
+    measurements = [measure(seed=seed, scale=scale) for _ in range(rounds)]
+    table = FigureTable(
+        figure_id="Perf gate",
+        title=(
+            f"Fast-path perf gate: fig13 cluster scenario, seed {seed}, "
+            f"{rounds} round(s)"
+        ),
+        headers=[
+            "round", "fast_wall_s", "ref_wall_s", "speedup",
+            "fast_req_per_s", "fast_tok_per_s",
+        ],
+    )
+    for i, m in enumerate(measurements):
+        table.add_row(
+            i, m.fast_wall_s, m.ref_wall_s, m.speedup,
+            m.fast_requests_per_s, m.fast_tokens_per_s,
+        )
+    failures = evaluate_gate(measurements, thresholds)
+    table.add_note(
+        f"thresholds: speedup >= {thresholds['min_speedup']}x, "
+        f"throughput >= {thresholds['min_requests_per_s']} req/s, "
+        f"variance <= {thresholds['max_variance']:.0%}"
+    )
+    table.add_note(
+        "gate: PASS" if not failures else "gate: FAIL — " + "; ".join(failures)
+    )
+    if write_json:
+        write_results(measurements, json_path, thresholds)
+    return table, failures

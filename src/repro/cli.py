@@ -63,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_adapters_parser(sub)
     _add_faults_parser(sub)
     _add_trace_parser(sub)
+    _add_perf_parser(sub)
     return parser
 
 
@@ -128,6 +129,40 @@ def _add_trace_parser(sub) -> None:
                        help="also print the Prometheus-text metrics snapshot")
     trace.add_argument("--limit", type=int, default=None,
                        help="cap the breakdown table at N requests")
+
+
+def _add_perf_parser(sub) -> None:
+    """The fast-path perf gate (fig13 timed through both engine paths)."""
+    perf = sub.add_parser(
+        "perf",
+        help="fast-path perf gate: time fig13 through both engine paths",
+    )
+    perf.add_argument("--seed", type=int, default=0)
+    perf.add_argument("--rounds", type=int, default=1,
+                      help="measurement rounds (>=2 also bounds variance)")
+    perf.add_argument("--check", action="store_true",
+                      help="exit nonzero if any gate threshold is violated")
+    perf.add_argument("--update", action="store_true",
+                      help="rewrite benchmarks/BENCH_perf.json with the results")
+    perf.add_argument("--out", type=pathlib.Path, default=None)
+
+
+def _run_perf(args) -> int:
+    from repro.bench.perf_gate import run_perf_gate
+
+    table, failures = run_perf_gate(
+        seed=args.seed, rounds=args.rounds, write_json=args.update
+    )
+    text = table.render()
+    print(text)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "perf_gate.txt").write_text(text + "\n")
+    if args.check and failures:
+        for failure in failures:
+            print(f"PERF GATE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _run_trace(args) -> int:
@@ -295,6 +330,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _run_faults(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "perf":
+        return _run_perf(args)
     _run_one(args.command, args.out, getattr(args, "requests", None))
     return 0
 

@@ -37,6 +37,9 @@ class EventLoop:
         self._seq = 0
         self._now = 0.0
         self._processed = 0
+        self._until: float | None = None
+        self._max_events: int | None = None
+        self._running = False
 
     @property
     def now(self) -> float:
@@ -66,25 +69,69 @@ class EventLoop:
             raise ValueError(f"delay must be nonnegative, got {delay}")
         return self.schedule(self._now + delay, action)
 
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or ``None`` when the heap is empty.
+
+        Cancelled heads are pruned in passing — in :meth:`run` they would
+        be popped and skipped without touching the clock or the processed
+        count, so discarding them here changes nothing observable. The
+        fast lane compares a step's end against this: strictly earlier
+        means running it inline is exactly what the loop would do next.
+        """
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
+
+    def try_advance(self, time: float) -> bool:
+        """Account one event processed inline at ``time`` (the fast lane).
+
+        Returns False — and changes nothing — when the loop is not inside
+        :meth:`run`, ``time`` lies beyond the active ``until`` horizon, or
+        the ``max_events`` budget is spent; the caller must then fall back
+        to scheduling a real event so the heap ends up in the same state
+        the slow path would leave. On success the clock and the processed
+        count move exactly as if the event had gone through the heap.
+        """
+        if time < self._now - 1e-12:
+            raise ValueError(f"cannot advance to {time} before now={self._now}")
+        if not self._running:
+            return False
+        if self._until is not None and time > self._until:
+            return False
+        if self._max_events is not None and self._processed >= self._max_events:
+            return False
+        self._now = max(self._now, time)
+        self._processed += 1
+        return True
+
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Process events in time order; returns the final clock.
 
         Stops when the heap is empty, the next event is beyond ``until``
         (left enqueued), or ``max_events`` have been processed.
         """
-        while self._heap:
-            if max_events is not None and self._processed >= max_events:
-                break
-            time, _, action, handle = self._heap[0]
-            if until is not None and time > until:
-                self._now = until
-                return self._now
-            heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            self._now = time
-            action(time)
-            self._processed += 1
-        if until is not None:
-            self._now = max(self._now, until)
-        return self._now
+        self._until = until
+        self._max_events = max_events
+        self._running = True
+        try:
+            while self._heap:
+                if max_events is not None and self._processed >= max_events:
+                    break
+                time, _, action, handle = self._heap[0]
+                if until is not None and time > until:
+                    self._now = until
+                    return self._now
+                heapq.heappop(self._heap)
+                if handle.cancelled:
+                    continue
+                self._now = time
+                action(time)
+                self._processed += 1
+            if until is not None:
+                self._now = max(self._now, until)
+            return self._now
+        finally:
+            self._until = None
+            self._max_events = None
+            self._running = False

@@ -110,11 +110,18 @@ class ClusterMetrics:
         # namespace that grows as events happen to occur.
         r = self.registry
         r.counter("requests_arrived_total", "request arrivals at the cluster")
-        r.counter("tokens_generated_total", "tokens generated by engine steps")
-        r.counter("engine_steps_total", "batched invocations per GPU",
-                  labels=("gpu",))
-        r.gauge("gpu_batch_size", "latest invocation batch size",
-                labels=("gpu",))
+        # Bound handles for record_step, the per-invocation hot path: the
+        # registry lookup + label validation per call would otherwise cost
+        # more than the recording itself.
+        self._tokens_counter = r.counter(
+            "tokens_generated_total", "tokens generated by engine steps"
+        )
+        self._steps_counter = r.counter(
+            "engine_steps_total", "batched invocations per GPU", labels=("gpu",)
+        )
+        self._batch_gauge = r.gauge(
+            "gpu_batch_size", "latest invocation batch size", labels=("gpu",)
+        )
         r.counter("adapter_loads_total", "demand adapter loads by hit tier",
                   labels=("tier",))
         r.counter("adapter_evictions_total",
@@ -140,17 +147,17 @@ class ClusterMetrics:
         ).inc()
 
     def record_step(self, gpu_id: str, start: float, tokens: int, batch_size: int) -> None:
-        self.tokens.record(start, float(tokens))
-        self.gpu_batch_size.setdefault(gpu_id, TimeSeries()).record(start, float(batch_size))
-        self.registry.counter(
-            "tokens_generated_total", "tokens generated by engine steps"
-        ).inc(float(tokens))
-        self.registry.counter(
-            "engine_steps_total", "batched invocations per GPU", labels=("gpu",)
-        ).inc(gpu=gpu_id)
-        self.registry.gauge(
-            "gpu_batch_size", "latest invocation batch size", labels=("gpu",)
-        ).set(float(batch_size), gpu=gpu_id)
+        ftokens = float(tokens)
+        fbatch = float(batch_size)
+        self.tokens.record(start, ftokens)
+        series = self.gpu_batch_size.get(gpu_id)
+        if series is None:
+            series = self.gpu_batch_size.setdefault(gpu_id, TimeSeries())
+        series.record(start, fbatch)
+        key = (gpu_id,)
+        self._tokens_counter.inc_key((), ftokens)
+        self._steps_counter.inc_key(key)
+        self._batch_gauge.set_key(key, fbatch)
 
     # -- adapter lifecycle ------------------------------------------------
     def record_adapter_load(self, t: float, tier: "Tier | int") -> None:

@@ -25,6 +25,7 @@ from repro.cluster.scheduler import PunicaScheduler, SchedulerConfig
 from repro.obs.tracer import EventKind, Tracer
 from repro.runtime.request import Request, RequestState
 from repro.runtime.serve import requests_from_trace
+from repro.utils.fastpath import fastpath_enabled
 from repro.workloads.trace import Trace
 
 
@@ -83,6 +84,7 @@ class ClusterSimulator:
         prefetcher=None,
         fault_injector: "FaultInjector | None" = None,
         tracer: "Tracer | None" = None,
+        fast_path: bool | None = None,
     ):
         """``registry`` (an :class:`~repro.adapters.registry.AdapterRegistry`)
         receives per-adapter arrival feeds for popularity EWMAs;
@@ -120,6 +122,11 @@ class ClusterSimulator:
             )
         self._requests: dict[str, Request] = {}
         self._gpu_busy: dict[str, bool] = {gid: False for gid in self.scheduler.engines}
+        self.fast_path = fastpath_enabled(fast_path)
+        self.inline_steps = 0
+        """Steps run inline by the batched-decode fast lane instead of
+        through the heap (diagnostic only — kept out of the metrics
+        registry so differential runs compare equal)."""
         self._pending_arrivals = 0
         self._recovering: list[tuple[float, list[Request]]] = []
         """(fault time, displaced requests) sets not yet fully re-admitted."""
@@ -259,41 +266,65 @@ class ClusterSimulator:
 
     def _make_step(self, gpu_id: str):
         def step(now: float) -> None:
-            engine = self.scheduler.engines.get(gpu_id)
-            if engine is None or not getattr(engine, "alive", True):
-                # The GPU crashed (or was released) after this step event
-                # was armed; its requests were already re-placed.
-                self._gpu_busy.pop(gpu_id, None)
-                return
-            report = engine.step(now)
-            if report is None:
-                # Blocked on an in-flight LoRA load: wake when it lands.
-                self._gpu_busy[gpu_id] = False
-                wake = engine.next_ready_time()
-                if wake is not None and not engine.is_idle:
-                    self._gpu_busy[gpu_id] = True
-                    self.loop.schedule(max(wake, now), self._make_step(gpu_id))
-                return
+            while True:
+                engine = self.scheduler.engines.get(gpu_id)
+                if engine is None or not getattr(engine, "alive", True):
+                    # The GPU crashed (or was released) after this step event
+                    # was armed; its requests were already re-placed.
+                    self._gpu_busy.pop(gpu_id, None)
+                    return
+                report = engine.step(now)
+                if report is None:
+                    # Blocked on an in-flight LoRA load: wake when it lands.
+                    self._gpu_busy[gpu_id] = False
+                    wake = engine.next_ready_time()
+                    if wake is not None and not engine.is_idle:
+                        self._gpu_busy[gpu_id] = True
+                        self.loop.schedule(max(wake, now), self._make_step(gpu_id))
+                    return
 
-            end = report.end
-            self.metrics.record_step(
-                gpu_id, report.start, report.tokens_generated, report.batch_size
-            )
-            if report.finished or report.evicted:
-                for rid in report.evicted:
-                    target = self.scheduler.submit(self._requests[rid], end)
-                    if target is not None:
-                        self._kick(target, end)
-                placed = self.scheduler.drain_queue(end)
-                for gid in set(placed):
-                    self._kick(gid, end)
+                end = report.end
+                self.metrics.record_step(
+                    gpu_id, report.start, report.tokens_generated, report.batch_size
+                )
+                if report.finished or report.evicted:
+                    for rid in report.evicted:
+                        target = self.scheduler.submit(self._requests[rid], end)
+                        if target is not None:
+                            self._kick(target, end)
+                    placed = self.scheduler.drain_queue(end)
+                    for gid in set(placed):
+                        self._kick(gid, end)
 
-            if engine.is_idle:
-                self._gpu_busy[gpu_id] = False
-            else:
+                if engine.is_idle:
+                    self._gpu_busy[gpu_id] = False
+                    if self._recovering:
+                        self._check_recoveries(end)
+                    return
+
+                # This GPU's next step is due at `end`. The fast lane runs
+                # it inline when it would be the very next event anyway:
+                # strictly earlier than every pending event (a tie loses to
+                # the already-enqueued event by seq order) and inside the
+                # loop's until/max_events budget. Any interleaved arrival,
+                # fault, kick or migration tick lands in the heap first and
+                # forces the general path, so coalescing cannot reorder
+                # cross-cutting events.
+                peek = self.loop.peek_time()
+                if (
+                    self.fast_path
+                    and (peek is None or end < peek)
+                    and self.loop.try_advance(end)
+                ):
+                    self.inline_steps += 1
+                    if self._recovering:
+                        self._check_recoveries(end)
+                    now = end
+                    continue
                 self.loop.schedule(end, self._make_step(gpu_id))
-            if self._recovering:
-                self._check_recoveries(end)
+                if self._recovering:
+                    self._check_recoveries(end)
+                return
 
         return step
 

@@ -14,7 +14,7 @@ invocation (the paper notes this avoids recomputing them ``7L`` times).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from collections.abc import Sequence
 
 import numpy as np
@@ -85,12 +85,20 @@ class BatchPlan:
     ``entries`` is the execution order (prefills then decodes, same-LoRA
     consecutive); ``seg``/``segment_lora_ids`` are the token-level SGMV
     segment indices shared by all layers of the invocation.
+
+    Plans are immutable once built, so the fast path reuses one plan
+    across every steady-state decode step of an unchanged batch;
+    ``derived`` is scratch space where consumers (the backends) stash
+    per-plan precomputations (paper §6: segment indices are computed once
+    per invocation, not ``7L`` times — here they also survive across
+    invocations that share the plan).
     """
 
     entries: tuple[BatchEntry, ...]
     batchlen: BatchLen
     seg: np.ndarray
     segment_lora_ids: tuple[str, ...]
+    derived: dict = field(default_factory=dict, compare=False)
 
     @property
     def batch_size(self) -> int:
@@ -114,6 +122,113 @@ class BatchPlan:
 
     def prefill_entries(self) -> list[BatchEntry]:
         return [e for e in self.entries if e.is_prefill]
+
+
+def plan_signature(entries: Sequence[BatchEntry]) -> tuple:
+    """Hashable identity of a batch: ``(request, lora, tokens, prefill?)``
+    per entry, in submission order.
+
+    Two batches with equal signatures produce equal plans (``plan_batch``
+    is deterministic), so the signature is the cache key the fast path
+    uses to skip re-planning steady-state decode invocations.
+    """
+    return tuple(
+        (e.request_id, e.lora_id, e.num_tokens, e.is_prefill) for e in entries
+    )
+
+
+class PlanCache:
+    """Bounded memo of :func:`plan_batch` keyed by :func:`plan_signature`.
+
+    One instance per engine: steady-state decode re-submits the same
+    signature every step, and alternating compositions (e.g. a batch
+    oscillating as prefills join and leave) still hit. The cache is
+    cleared wholesale when full — plans are cheap to rebuild and the
+    limit exists only to bound memory on adversarial workloads.
+    """
+
+    def __init__(self, max_entries: int = 512):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._plans: "dict[tuple, BatchPlan]" = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def plan(self, entries: Sequence[BatchEntry]) -> BatchPlan:
+        key = plan_signature(entries)
+        cached = self._plans.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        plan = plan_batch(entries)
+        if len(self._plans) >= self.max_entries:
+            self._plans.clear()
+        self._plans[key] = plan
+        return plan
+
+    def get(self, key: tuple) -> "BatchPlan | None":
+        """Probe with a caller-built :func:`plan_signature` key.
+
+        Lets hot paths that can assemble the signature without
+        constructing :class:`BatchEntry` objects (the steady decode lane)
+        skip entry construction entirely on a hit. Pair with :meth:`put`.
+        """
+        cached = self._plans.get(key)
+        if cached is not None:
+            self.hits += 1
+        return cached
+
+    def put(self, key: tuple, plan: BatchPlan) -> None:
+        """Record a miss computed by the caller (see :meth:`get`)."""
+        self.misses += 1
+        if len(self._plans) >= self.max_entries:
+            self._plans.clear()
+        self._plans[key] = plan
+
+
+def plan_decode_batch(entries: Sequence[BatchEntry]) -> BatchPlan:
+    """:func:`plan_batch` specialized to an all-decode batch.
+
+    Field-for-field equal to ``plan_batch(entries)`` when every entry is
+    a decode (same stable LoRA grouping, same segment boundaries): with
+    no prefills the group order is simply first-seen submission order,
+    each group is one token-level segment (adjacent groups have distinct
+    LoRA ids and decodes contribute one token each), so the per-token
+    segment scan collapses to a cumulative sum of group sizes. The
+    steady decode lane re-plans on every batch-membership change, where
+    this is the dominant cost.
+    """
+    if not entries:
+        raise ValueError("cannot plan an empty batch")
+    order: dict[str, list[BatchEntry]] = {}
+    for e in entries:
+        if e.is_prefill:
+            raise ValueError("plan_decode_batch requires all-decode entries")
+        group = order.get(e.lora_id)
+        if group is None:
+            order[e.lora_id] = [e]
+        else:
+            group.append(e)
+    ordered: list[BatchEntry] = []
+    sizes: list[int] = []
+    for group in order.values():
+        ordered.extend(group)
+        sizes.append(len(group))
+    seg = np.zeros(len(sizes) + 1, dtype=np.int64)
+    np.cumsum(np.asarray(sizes, dtype=np.int64), out=seg[1:])
+    return BatchPlan(
+        entries=tuple(ordered),
+        batchlen=BatchLen(
+            prefill_starts=(), num_prefill_tokens=0, num_decode=len(ordered)
+        ),
+        seg=seg,
+        segment_lora_ids=tuple(order),
+    )
 
 
 def plan_batch(entries: Sequence[BatchEntry]) -> BatchPlan:

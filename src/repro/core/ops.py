@@ -24,11 +24,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.segments import validate_segments
-from repro.core.sgmv import sgmv_expand, sgmv_shrink
+from repro.core.sgmv import _segment_plan, sgmv_expand, sgmv_shrink
 
 
 def _check(y: np.ndarray, x: np.ndarray, wa: np.ndarray, wb: np.ndarray, seg: np.ndarray):
-    seg = validate_segments(seg, batch_size=x.shape[0])
+    seg = validate_segments(seg, batch_size=x.shape[0], allow_empty=True)
     n = seg.size - 1
     if wa.shape[0] != n or wb.shape[0] != n:
         raise ValueError(
@@ -60,8 +60,8 @@ def gather_weights(weights: np.ndarray, seg: np.ndarray) -> np.ndarray:
     Returns shape ``(s_n, h_in, h_out)`` — the stacked copy ``torch.bmm``
     consumes, and the source of the baseline's extra memory traffic.
     """
-    seg = validate_segments(seg)
-    sizes = np.diff(seg)
+    seg = validate_segments(seg, allow_empty=True)
+    _, sizes, _ = _segment_plan(seg)
     return np.repeat(weights, sizes, axis=0)
 
 

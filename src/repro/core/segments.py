@@ -37,8 +37,14 @@ def segment_sizes(seg: np.ndarray) -> np.ndarray:
     return np.diff(seg)
 
 
-def validate_segments(seg: np.ndarray, batch_size: int | None = None) -> np.ndarray:
+def validate_segments(
+    seg: np.ndarray, batch_size: int | None = None, allow_empty: bool = False
+) -> np.ndarray:
     """Check that ``seg`` is a valid cumulative segment vector; return it as int64.
+
+    With ``allow_empty`` a segment may span zero rows (the kernel simply
+    does no work for it — Punica's SGMV tolerates models with no requests
+    in flight); by default segments must be strictly increasing.
 
     Raises ``ValueError`` with a precise message otherwise.
     """
@@ -47,7 +53,11 @@ def validate_segments(seg: np.ndarray, batch_size: int | None = None) -> np.ndar
         raise ValueError(f"segments must be 1-D with at least 2 entries, got shape {seg.shape}")
     if seg[0] != 0:
         raise ValueError(f"segments must start at 0, got {seg[0]}")
-    if (np.diff(seg) <= 0).any():
+    diffs = np.diff(seg)
+    if allow_empty:
+        if (diffs < 0).any():
+            raise ValueError(f"segments must be nondecreasing, got {seg.tolist()}")
+    elif (diffs <= 0).any():
         raise ValueError(f"segments must be strictly increasing, got {seg.tolist()}")
     if batch_size is not None and seg[-1] != batch_size:
         raise ValueError(f"segments cover {seg[-1]} rows but batch has {batch_size}")

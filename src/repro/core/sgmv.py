@@ -28,8 +28,39 @@ import numpy as np
 from repro.core.segments import validate_segments
 
 
+_SEG_PLAN_LIMIT = 4096
+_SEG_PLAN_CACHE: "dict[bytes, tuple[np.ndarray, np.ndarray, int]]" = {}
+
+
+def _segment_plan(seg: np.ndarray) -> "tuple[np.ndarray, np.ndarray, int]":
+    """Per-segment-vector precomputation, cached across launches.
+
+    Returns ``(seg, sizes, uniform)`` where ``uniform`` is the common
+    segment size when all segments are equal and positive (the batched
+    einsum schedule), else 0. The engine reuses one segment vector across
+    every decode step of an unchanged batch (paper §6 computes segment
+    indices once per invocation; the steady-state fast path also reuses
+    them *across* invocations), so keying on the raw bytes turns the
+    per-launch ``np.diff`` + uniformity scan into a dict lookup.
+    """
+    key = seg.tobytes()
+    plan = _SEG_PLAN_CACHE.get(key)
+    if plan is not None:
+        return plan
+    sizes = np.diff(seg)
+    uniform = (
+        int(sizes[0]) if sizes.size and sizes[0] > 0 and (sizes == sizes[0]).all()
+        else 0
+    )
+    if len(_SEG_PLAN_CACHE) >= _SEG_PLAN_LIMIT:
+        _SEG_PLAN_CACHE.clear()
+    plan = (seg, sizes, uniform)
+    _SEG_PLAN_CACHE[key] = plan
+    return plan
+
+
 def _check_inputs(x: np.ndarray, weights: np.ndarray, seg: np.ndarray) -> np.ndarray:
-    seg = validate_segments(seg, batch_size=x.shape[0])
+    seg = validate_segments(seg, batch_size=x.shape[0], allow_empty=True)
     if x.ndim != 2:
         raise ValueError(f"x must be 2-D (batch, features), got shape {x.shape}")
     if weights.ndim != 3:
@@ -53,16 +84,18 @@ def _sgmv_inplace(y: np.ndarray, x: np.ndarray, weights: np.ndarray, seg: np.nda
             f"output shape {y.shape} incompatible with batch {x.shape[0]} "
             f"and out dim {weights.shape[2]}"
         )
-    sizes = np.diff(seg)
-    if sizes.size and (sizes == sizes[0]).all() and sizes[0] > 0:
+    seg, sizes, uniform = _segment_plan(seg)
+    if uniform:
         # Uniform segments: one batched einsum instead of a Python loop.
-        b = int(sizes[0])
+        b = uniform
         n = sizes.size
         xx = x.reshape(n, b, x.shape[1])
         y += np.einsum("nbi,nio->nbo", xx, weights, optimize=True).reshape(y.shape)
         return
     for i in range(seg.size - 1):
         lo, hi = int(seg[i]), int(seg[i + 1])
+        if lo == hi:
+            continue
         y[lo:hi] += x[lo:hi] @ weights[i]
 
 

@@ -119,6 +119,52 @@ class PageAllocator:
         self._seq_len[seq_id] = new_len
         return new_pages
 
+    def append_token(self, seq_id: str) -> "list[int]":
+        """Single-token :meth:`append` specialization for the decode hot loop.
+
+        Equivalent to ``append(seq_id, 1)`` but replaces the two
+        ``pages_needed`` ceil-divisions with one modulo: a token needs a
+        new page iff the current length fills its last page exactly.
+        """
+        pages = self._pages.get(seq_id)
+        if pages is None:
+            raise KeyError(f"unknown sequence {seq_id!r}")
+        cur = self._seq_len[seq_id]
+        self._seq_len[seq_id] = cur + 1
+        if cur % self.page_size:
+            return []
+        if not self._free:
+            self._seq_len[seq_id] = cur
+            raise MemoryError(
+                f"append to {seq_id!r} needs 1 pages but only 0 free"
+            )
+        page = self._free.pop()
+        pages.append(page)
+        return [page]
+
+    def append_tokens(self, seq_ids) -> None:
+        """Batched :meth:`append_token` for the steady decode lane.
+
+        One token per sequence, no new-page lists returned. The caller
+        guarantees every sequence exists and a free page per sequence is
+        available (``free_pages >= len(seq_ids)``), so the per-call
+        validation of :meth:`append_token` is hoisted out of the loop.
+        """
+        seq_len = self._seq_len
+        pages = self._pages
+        free = self._free
+        page_size = self.page_size
+        for sid in seq_ids:
+            cur = seq_len[sid]
+            seq_len[sid] = cur + 1
+            if cur % page_size == 0:
+                if not free:
+                    seq_len[sid] = cur
+                    raise MemoryError(
+                        f"append to {sid!r} needs 1 pages but only 0 free"
+                    )
+                pages[sid].append(free.pop())
+
     def free(self, seq_id: str) -> int:
         """Release a sequence's pages; returns how many were freed."""
         self._require(seq_id)

@@ -112,6 +112,104 @@ def _lora_latency(
     return kcm.loop_lora(work.lora_segments, h_in, h_out, work.lora_rank)
 
 
+@dataclass(frozen=True)
+class StepLatencyTerms:
+    """The kv-invariant pieces of :func:`model_step_latency`, pre-summed.
+
+    Every term of the step-latency formula except batched decode attention
+    depends only on the *shape* of the invocation (token counts, LoRA
+    segments, prefill lengths) — which is exactly what a reused
+    :class:`~repro.core.batch.BatchPlan` pins. Decode attention is the
+    lone term that moves as KvCache lengths grow each step.
+
+    Floating-point addition is not associative, so the split must preserve
+    the original summation order exactly for trace byte-identity:
+    ``layer_prefix`` is the running sum of every term *before* decode
+    attention (a single float — identical to the accumulator's value at
+    that point), ``layer_tails`` are the individual term values added
+    *after* it, in order, and ``model_tails`` the three model-level terms.
+    Re-evaluating via :func:`step_latency_from_terms` therefore performs
+    the same float operations in the same order as the direct computation
+    and returns the bit-identical result.
+    """
+
+    layer_prefix: float
+    layer_tails: tuple[float, ...]
+    model_tails: tuple[float, ...]
+    num_decode: int
+    heads_shard: int
+    kv_heads_shard: int
+
+
+def _layer_terms(
+    config: LlamaConfig,
+    kcm: KernelCostModel,
+    work: StepWorkload,
+    tp: TensorParallelConfig,
+    flags: PerfFlags,
+) -> "tuple[list[float], list[float]]":
+    """Per-layer latency terms split around decode attention.
+
+    Single source of truth for the layer formula: both the direct
+    :func:`transformer_layer_latency` and the cached fast path fold these
+    exact values, so they cannot drift apart.
+    """
+    tp.validate_for(config)
+    w = tp.world_size
+    h = config.hidden_size
+    kv_dim_shard = max(config.kv_dim // w, config.head_dim)
+    inter_shard = config.intermediate_size // w
+    heads_shard = tp.shard_heads(config)
+    kv_heads_shard = tp.shard_kv_heads(config)
+    tokens = work.num_tokens
+
+    prefix: "list[float]" = []
+    prefix.append(2.0 * kcm.layernorm(fused=flags.fused_layernorm))
+
+    # Attention block projections (column-parallel q/k/v, row-parallel o).
+    prefix.append(kcm.gemm(tokens, h // w, h))  # q
+    prefix.append(kcm.gemm(tokens, kv_dim_shard, h))  # k
+    prefix.append(kcm.gemm(tokens, kv_dim_shard, h))  # v
+    prefix.append(kcm.gemm(tokens, h, h // w))  # o
+    prefix.append(_lora_latency(kcm, work, h, h // w, flags.lora_impl))  # q lora
+    prefix.append(
+        2.0 * _lora_latency(kcm, work, h, kv_dim_shard, flags.lora_impl)
+    )  # k, v lora
+    prefix.append(_lora_latency(kcm, work, h // w, h, flags.lora_impl))  # o lora
+
+    # Self-attention kernels: one BatchPrefill per prefill request; the
+    # BatchDecode over all decode requests goes *between* prefix and tail.
+    for s in work.prefill_lens:
+        prefix.append(
+            kcm.attention_prefill(
+                s, heads_shard, config.head_dim, kv_heads_shard,
+                flash=flags.flash_attention,
+            )
+        )
+
+    tail: "list[float]" = []
+    # MLP (column-parallel gate/up, row-parallel down).
+    tail.append(2.0 * kcm.gemm(tokens, inter_shard, h))  # gate, up
+    tail.append(kcm.gemm(tokens, h, inter_shard))  # down
+    tail.append(
+        2.0 * _lora_latency(kcm, work, h, inter_shard, flags.lora_impl)
+    )  # gate, up lora
+    tail.append(_lora_latency(kcm, work, inter_shard, h, flags.lora_impl))  # down lora
+
+    # RoPE + SiLU + two residual adds, all bandwidth-bound elementwise.
+    tail.append(4.0 * kcm.elementwise(tokens * h * FP16_BYTES / w))
+
+    # HF-style cache concatenation: the whole layer cache is copied.
+    if flags.cache_concat:
+        cache_tokens = sum(work.decode_kv_lens) + sum(work.prefill_lens)
+        cache_bytes = cache_tokens * 2 * kv_heads_shard * config.head_dim * FP16_BYTES
+        tail.append(kcm.elementwise(cache_bytes))
+
+    tail.append(tp.layer_allreduce_time(config, tokens))  # two all-reduces
+    tail.append(flags.framework_overhead_per_layer)
+    return prefix, tail
+
+
 def transformer_layer_latency(
     config: LlamaConfig,
     kcm: KernelCostModel,
@@ -125,59 +223,121 @@ def transformer_layer_latency(
     attention kernels, the SwiGLU MLP (+LoRA), RoPE/residual elementwise
     passes, and — under tensor parallelism — the two all-reduces.
     """
-    tp.validate_for(config)
-    w = tp.world_size
-    h = config.hidden_size
-    kv_dim_shard = max(config.kv_dim // w, config.head_dim)
-    inter_shard = config.intermediate_size // w
-    heads_shard = tp.shard_heads(config)
-    kv_heads_shard = tp.shard_kv_heads(config)
-    tokens = work.num_tokens
-
+    prefix, tail = _layer_terms(config, kcm, work, tp, flags)
     t = 0.0
-    t += 2.0 * kcm.layernorm(fused=flags.fused_layernorm)
-
-    # Attention block projections (column-parallel q/k/v, row-parallel o).
-    t += kcm.gemm(tokens, h // w, h)  # q
-    t += kcm.gemm(tokens, kv_dim_shard, h)  # k
-    t += kcm.gemm(tokens, kv_dim_shard, h)  # v
-    t += kcm.gemm(tokens, h, h // w)  # o
-    t += _lora_latency(kcm, work, h, h // w, flags.lora_impl)  # q lora
-    t += 2.0 * _lora_latency(kcm, work, h, kv_dim_shard, flags.lora_impl)  # k, v lora
-    t += _lora_latency(kcm, work, h // w, h, flags.lora_impl)  # o lora
-
-    # Self-attention kernels: one BatchPrefill per prefill request, one
-    # BatchDecode over all decode requests (§5).
-    for s in work.prefill_lens:
-        t += kcm.attention_prefill(
-            s, heads_shard, config.head_dim, kv_heads_shard, flash=flags.flash_attention
-        )
+    for term in prefix:
+        t += term
     if work.decode_kv_lens:
         t += kcm.attention_decode(
             [l + 1 for l in work.decode_kv_lens],
-            heads_shard,
+            tp.shard_heads(config),
             config.head_dim,
-            kv_heads_shard,
+            tp.shard_kv_heads(config),
         )
-
-    # MLP (column-parallel gate/up, row-parallel down).
-    t += 2.0 * kcm.gemm(tokens, inter_shard, h)  # gate, up
-    t += kcm.gemm(tokens, h, inter_shard)  # down
-    t += 2.0 * _lora_latency(kcm, work, h, inter_shard, flags.lora_impl)  # gate, up lora
-    t += _lora_latency(kcm, work, inter_shard, h, flags.lora_impl)  # down lora
-
-    # RoPE + SiLU + two residual adds, all bandwidth-bound elementwise.
-    t += 4.0 * kcm.elementwise(tokens * h * FP16_BYTES / w)
-
-    # HF-style cache concatenation: the whole layer cache is copied.
-    if flags.cache_concat:
-        cache_tokens = sum(work.decode_kv_lens) + sum(work.prefill_lens)
-        cache_bytes = cache_tokens * 2 * kv_heads_shard * config.head_dim * FP16_BYTES
-        t += kcm.elementwise(cache_bytes)
-
-    t += tp.layer_allreduce_time(config, tokens)  # two all-reduces (method doubles)
-    t += flags.framework_overhead_per_layer
+    for term in tail:
+        t += term
     return t
+
+
+def step_latency_terms(
+    config: LlamaConfig,
+    kcm: KernelCostModel,
+    work: StepWorkload,
+    tp: TensorParallelConfig = SINGLE_GPU,
+    flags: PerfFlags = PUNICA_FLAGS,
+) -> StepLatencyTerms:
+    """Precompute the kv-invariant terms of :func:`model_step_latency`.
+
+    The caller caches the result against the batch plan and re-evaluates
+    with :func:`step_latency_from_terms` as KvCache lengths advance.
+    """
+    prefix_terms, tail_terms = _layer_terms(config, kcm, work, tp, flags)
+    prefix = 0.0
+    for term in prefix_terms:
+        prefix += term
+    model_tails = (
+        # Embedding lookup for every input token.
+        kcm.elementwise(work.num_tokens * config.hidden_size * FP16_BYTES),
+        # LM head only for tokens that produce logits (one per request).
+        kcm.gemm(
+            work.batch_size, config.vocab_size // tp.world_size, config.hidden_size
+        ),
+        kcm.layernorm(fused=flags.fused_layernorm),
+    )
+    return StepLatencyTerms(
+        layer_prefix=prefix,
+        layer_tails=tuple(tail_terms),
+        model_tails=model_tails,
+        num_decode=len(work.decode_kv_lens),
+        heads_shard=tp.shard_heads(config),
+        kv_heads_shard=tp.shard_kv_heads(config),
+    )
+
+
+def step_latency_from_terms(
+    config: LlamaConfig,
+    kcm: KernelCostModel,
+    terms: StepLatencyTerms,
+    decode_past_lens: "list[int]",
+) -> float:
+    """Re-evaluate :func:`model_step_latency` from cached invariant terms.
+
+    ``decode_past_lens`` must list the decode requests' *past* KvCache
+    lengths in the same (plan) order the terms were built from. Bit
+    equality with the direct computation is guaranteed by the summation
+    contract documented on :class:`StepLatencyTerms`.
+    """
+    if len(decode_past_lens) != terms.num_decode:
+        raise ValueError(
+            f"terms were built for {terms.num_decode} decode requests, "
+            f"got {len(decode_past_lens)}"
+        )
+    t = terms.layer_prefix
+    if decode_past_lens:
+        t += kcm.attention_decode(
+            [l + 1 for l in decode_past_lens],
+            terms.heads_shard,
+            config.head_dim,
+            terms.kv_heads_shard,
+        )
+    for term in terms.layer_tails:
+        t += term
+    total = config.num_layers * t
+    for term in terms.model_tails:
+        total += term
+    return total
+
+
+def step_latency_steady(
+    config: LlamaConfig,
+    kcm: KernelCostModel,
+    terms: StepLatencyTerms,
+    total_kv: int,
+) -> float:
+    """:func:`step_latency_from_terms` with the decode KvCache lengths
+    summarized by their total.
+
+    ``total_kv`` must equal ``sum(past + 1 for past in decode_past_lens)``
+    as an exact integer; decode attention depends on the lengths only
+    through that sum and the batch size
+    (:meth:`~repro.hw.kernels.KernelCostModel.attention_decode_total`), so
+    the result is bit-identical to the per-length evaluation.
+    """
+    t = terms.layer_prefix
+    if terms.num_decode:
+        t += kcm.attention_decode_total(
+            float(total_kv),
+            terms.num_decode,
+            terms.heads_shard,
+            config.head_dim,
+            terms.kv_heads_shard,
+        )
+    for term in terms.layer_tails:
+        t += term
+    total = config.num_layers * t
+    for term in terms.model_tails:
+        total += term
+    return total
 
 
 def model_step_latency(

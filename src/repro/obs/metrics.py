@@ -32,11 +32,16 @@ def _validate_name(name: str) -> None:
 def _label_key(
     label_names: "tuple[str, ...]", labels: "dict[str, str]"
 ) -> "tuple[str, ...]":
-    if set(labels) != set(label_names):
+    if len(labels) != len(label_names):
         raise ValueError(
             f"expected labels {sorted(label_names)}, got {sorted(labels)}"
         )
-    return tuple(str(labels[n]) for n in label_names)
+    try:
+        return tuple(str(labels[n]) for n in label_names)
+    except KeyError:
+        raise ValueError(
+            f"expected labels {sorted(label_names)}, got {sorted(labels)}"
+        ) from None
 
 
 def _render_labels(label_names: "tuple[str, ...]", key: "tuple[str, ...]") -> str:
@@ -62,6 +67,13 @@ class Counter:
         if amount < 0:
             raise ValueError(f"counters only go up, got {amount}")
         key = _label_key(self.label_names, labels)
+        self._values[key] = self._values.get(key, 0.0) + float(amount)
+
+    def inc_key(self, key: "tuple[str, ...]", amount: float = 1.0) -> None:
+        """:meth:`inc` with a pre-resolved label key — for per-step hot
+        paths where label-name validation per call would dominate."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
         self._values[key] = self._values.get(key, 0.0) + float(amount)
 
     def value(self, **labels: str) -> float:
@@ -98,6 +110,10 @@ class Gauge(Counter):
 
     def set(self, value: float, **labels: str) -> None:
         self._values[_label_key(self.label_names, labels)] = float(value)
+
+    def set_key(self, key: "tuple[str, ...]", value: float) -> None:
+        """:meth:`set` with a pre-resolved label key (hot paths)."""
+        self._values[key] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
         key = _label_key(self.label_names, labels)

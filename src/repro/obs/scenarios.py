@@ -62,53 +62,67 @@ def _open_loop(seed: int, rate: float, duration: float) -> Trace:
 
 
 def _engine(
-    gpu_id: str, max_batch_size: int, step_overhead: float = 0.0
+    gpu_id: str,
+    max_batch_size: int,
+    step_overhead: float = 0.0,
+    fast_path: "bool | None" = None,
 ) -> GpuEngine:
     # The inflated step overhead slows "GPUs" down so a few-second trace
     # saturates the pool — queueing and consolidation migration fire
     # without thousands of decode events bloating the golden fixtures.
     return GpuEngine(
         gpu_id,
-        SimulatedBackend(LLAMA2_7B, step_overhead=step_overhead),
+        SimulatedBackend(LLAMA2_7B, step_overhead=step_overhead,
+                         fast_path=fast_path),
         EngineConfig(max_batch_size=max_batch_size),
+        fast_path=fast_path,
     )
 
 
-def run_single_gpu(seed: int = 0) -> ScenarioResult:
+def run_single_gpu(seed: int = 0, fast_path: "bool | None" = None) -> ScenarioResult:
     """Mixed prefill/decode on one engine: arrivals stagger so prefills
     join live decode batches (the §5 continuous-batching property)."""
     trace = _open_loop(seed, rate=2.0, duration=8.0)
     requests = requests_from_trace(trace)
     tracer = Tracer()
-    serve_requests(_engine("gpu00", max_batch_size=8), requests, tracer=tracer)
+    serve_requests(
+        _engine("gpu00", max_batch_size=8, fast_path=fast_path),
+        requests, tracer=tracer,
+    )
     return ScenarioResult("single_gpu", tracer, requests, metrics=None)
 
 
-def _cluster(tracer: Tracer, fault_injector=None) -> ClusterSimulator:
+def _cluster(
+    tracer: Tracer, fault_injector=None, fast_path: "bool | None" = None
+) -> ClusterSimulator:
     return ClusterSimulator(
         [
-            _engine(f"gpu{i:02d}", max_batch_size=4, step_overhead=0.1)
+            _engine(f"gpu{i:02d}", max_batch_size=4, step_overhead=0.1,
+                    fast_path=fast_path)
             for i in range(4)
         ],
         SchedulerConfig(migration_interval=1.0, light_load_fraction=0.5),
         fault_injector=fault_injector,
         tracer=tracer,
+        fast_path=fast_path,
     )
 
 
-def run_cluster_migration(seed: int = 0) -> ScenarioResult:
+def run_cluster_migration(
+    seed: int = 0, fast_path: "bool | None" = None
+) -> ScenarioResult:
     """4-GPU cluster loaded past its capacity: requests queue FCFS, and
     the tail drains unevenly enough for consolidation migration to fire
     (§5.3)."""
     trace = _open_loop(seed, rate=16.0, duration=4.0)
     tracer = Tracer()
-    result = _cluster(tracer).run(trace)
+    result = _cluster(tracer, fast_path=fast_path).run(trace)
     return ScenarioResult(
         "cluster_migration", tracer, result.requests, metrics=result.metrics
     )
 
 
-def run_faults(seed: int = 0) -> ScenarioResult:
+def run_faults(seed: int = 0, fast_path: "bool | None" = None) -> ScenarioResult:
     """The cluster under a scripted fault plan: a slowdown window, a PCIe
     stall, then a mid-run GPU crash recovered via §5.3 re-placement."""
     trace = _open_loop(seed, rate=12.0, duration=4.0)
@@ -122,22 +136,25 @@ def run_faults(seed: int = 0) -> ScenarioResult:
         seed=seed,
     )
     tracer = Tracer()
-    result = _cluster(tracer, fault_injector=injector).run(trace)
+    result = _cluster(tracer, fault_injector=injector,
+                      fast_path=fast_path).run(trace)
     return ScenarioResult("faults", tracer, result.requests, metrics=result.metrics)
 
 
-SCENARIOS: "dict[str, Callable[[int], ScenarioResult]]" = {
+SCENARIOS: "dict[str, Callable[..., ScenarioResult]]" = {
     "single_gpu": run_single_gpu,
     "cluster_migration": run_cluster_migration,
     "faults": run_faults,
 }
 
 
-def run_scenario(name: str, seed: int = 0) -> ScenarioResult:
+def run_scenario(
+    name: str, seed: int = 0, fast_path: "bool | None" = None
+) -> ScenarioResult:
     try:
         runner = SCENARIOS[name]
     except KeyError:
         raise ValueError(
             f"unknown scenario {name!r}; pick one of {sorted(SCENARIOS)}"
         ) from None
-    return runner(seed)
+    return runner(seed, fast_path=fast_path)

@@ -26,11 +26,20 @@ from repro.hw.spec import A100_80G, GpuSpec
 from repro.kvcache.pool import KvPool, PagedKvData
 from repro.models.config import LlamaConfig
 from repro.models.llama import LlamaModel, TokenBatch
-from repro.models.perf import PUNICA_FLAGS, PerfFlags, StepWorkload, model_step_latency
+from repro.models.perf import (
+    PUNICA_FLAGS,
+    PerfFlags,
+    StepWorkload,
+    model_step_latency,
+    step_latency_from_terms,
+    step_latency_steady,
+    step_latency_terms,
+)
 from repro.models.tp import SINGLE_GPU, TensorParallelConfig
 from repro.models.weights import LlamaWeights
 from repro.runtime.request import Request
 from repro.runtime.sampler import GreedySampler
+from repro.utils.fastpath import fastpath_enabled
 from repro.utils.units import GIB
 
 
@@ -49,20 +58,35 @@ def workload_from_plan(
     serve_lora: bool,
     lora_rank: int,
 ) -> StepWorkload:
-    """Translate a planned batch into the analytical workload description."""
-    prefill_lens = tuple(e.num_tokens for e in plan.prefill_entries())
-    decode_kv = tuple(past_lens[e.request_id] for e in plan.decode_entries())
-    segments = tuple(int(s) for s in plan.segment_sizes) if serve_lora else None
+    """Translate a planned batch into the analytical workload description.
+
+    The plan-shaped parts (prefill lengths, decode request order, segment
+    sizes) are stashed in ``plan.derived``, so when the engine reuses one
+    plan across steady-state decode steps only the per-step ``decode_kv``
+    lookup is recomputed. Freshly built plans (the reference path builds
+    one per step) simply miss and compute everything as before.
+    """
+    cached = plan.derived.get("workload")
+    if cached is None:
+        prefill_lens = tuple(e.num_tokens for e in plan.prefill_entries())
+        decode_ids = tuple(e.request_id for e in plan.decode_entries())
+        segments = tuple(int(s) for s in plan.segment_sizes)
+        cached = (prefill_lens, decode_ids, segments)
+        plan.derived["workload"] = cached
+    prefill_lens, decode_ids, segments = cached
     return StepWorkload(
         prefill_lens=prefill_lens,
-        decode_kv_lens=decode_kv,
-        lora_segments=segments,
+        decode_kv_lens=tuple(past_lens[rid] for rid in decode_ids),
+        lora_segments=segments if serve_lora else None,
         lora_rank=lora_rank,
     )
 
 
 class SimulatedBackend:
     """Analytical-latency backend for full-scale (7B/13B/70B) experiments."""
+
+    supports_steady = True
+    """The engine's steady decode lane may call :meth:`execute_steady`."""
 
     def __init__(
         self,
@@ -77,6 +101,7 @@ class SimulatedBackend:
         workspace_bytes: float = 2 * GIB,
         step_overhead: float = 0.0005,
         unified_pool=None,
+        fast_path: bool | None = None,
     ):
         """``kv_capacity_bytes`` defaults to HBM minus the (sharded) backbone
         weights minus a workspace reserve — the paper's "large fraction of
@@ -95,7 +120,13 @@ class SimulatedBackend:
         self.lora_rank = lora_rank
         self.serve_lora = serve_lora
         self.step_overhead = step_overhead
-        self.cost_model = KernelCostModel(gpu)
+        self.fast_path = fastpath_enabled(fast_path)
+        self.cost_model = KernelCostModel(gpu, memoize=self.fast_path)
+        self._terms_key = ("latency_terms", self)
+        """Key for this backend's latency-term cache in ``plan.derived`` —
+        scoped by backend identity because the terms depend on config, TP,
+        flags and rank, and one plan may be executed by several backends
+        (the shape-only ``"workload"`` entry, by contrast, is shared)."""
         self.pool = unified_pool
         if unified_pool is not None:
             self.kv = unified_pool.kv
@@ -142,6 +173,20 @@ class SimulatedBackend:
             return
         self.kv.append_token(request_id)
 
+    def kv_append_many(self, request_ids) -> None:
+        """Batched decode append for the engine's steady-state fast lane.
+
+        Semantically ``for rid in request_ids: kv_append(rid)``; without a
+        unified pool it goes straight to the allocator's single-token fast
+        path. The fast lane only runs when a free page per request is
+        guaranteed, so no append here can fail mid-batch.
+        """
+        if self.pool is not None:
+            for rid in request_ids:
+                self.pool.kv_append(rid)
+            return
+        self.kv.allocator.append_tokens(request_ids)
+
     def kv_release(self, request_id: str) -> None:
         if self.pool is not None:
             self.pool.kv_release(request_id)
@@ -154,6 +199,17 @@ class SimulatedBackend:
             return self.pool.kv_free_tokens()
         return self.kv.free_tokens
 
+    def kv_headroom_pages(self) -> int:
+        """Pages guaranteed allocatable right now, under every budget.
+
+        If this is ``>= len(batch)`` then one decode append per request
+        cannot fail (each consumes at most one page), so the fast lane can
+        skip the per-slot can-append/evict checks entirely.
+        """
+        if self.pool is not None:
+            return self.pool.kv_free_tokens() // self.pool.kv.page_size
+        return self.kv.free_pages
+
     # -- execution ----------------------------------------------------------
     def execute(
         self,
@@ -161,15 +217,76 @@ class SimulatedBackend:
         past_lens: Mapping[str, int],
         requests: Mapping[str, Request] | None = None,
     ) -> StepExecution:
-        work = workload_from_plan(plan, past_lens, self.serve_lora, self.lora_rank)
-        latency = model_step_latency(
-            self.config, self.cost_model, work, tp=self.tp, flags=self.flags
-        )
+        if self.fast_path:
+            latency = self._fast_latency(plan, past_lens)
+        else:
+            work = workload_from_plan(plan, past_lens, self.serve_lora, self.lora_rank)
+            latency = model_step_latency(
+                self.config, self.cost_model, work, tp=self.tp, flags=self.flags
+            )
         tokens = {}
         for entry in plan.entries:
             self._token_counter += 1
             tokens[entry.request_id] = self._token_counter
         return StepExecution(latency=latency + self.step_overhead, tokens=tokens)
+
+    def execute_steady(
+        self,
+        plan: BatchPlan,
+        past_lens: Mapping[str, int],
+        total_kv: int,
+    ) -> StepExecution:
+        """Steady-lane :meth:`execute`: the all-decode plan is last step's.
+
+        ``total_kv`` is ``sum(past + 1 for past in past_lens.values())``,
+        maintained incrementally by the engine so neither the length list
+        nor the dict values need rebuilding per step (``past_lens`` is
+        consulted only on the first call for a plan, to build its term
+        cache). Bit-identical to :meth:`execute` — see
+        :func:`~repro.models.perf.step_latency_steady`.
+        """
+        cached = plan.derived.get(self._terms_key)
+        if cached is None:
+            latency = self._fast_latency(plan, past_lens)
+        else:
+            latency = step_latency_steady(
+                self.config, self.cost_model, cached[0], total_kv
+            )
+        counter = self._token_counter
+        tokens = {}
+        for rid in plan.derived["workload"][1]:
+            counter += 1
+            tokens[rid] = counter
+        self._token_counter = counter
+        return StepExecution(latency=latency + self.step_overhead, tokens=tokens)
+
+    def _fast_latency(self, plan: BatchPlan, past_lens: Mapping[str, int]) -> float:
+        """Step latency via the per-plan invariant-term cache.
+
+        Bit-identical to the ``model_step_latency`` call the reference
+        path makes (see :class:`~repro.models.perf.StepLatencyTerms` for
+        the summation-order argument); only the batched-decode-attention
+        term is recomputed as KvCache lengths advance. The cache lives on
+        the plan, keyed by this backend (``_terms_key``) since the terms
+        depend on its config, TP, flags and rank — all fixed for its
+        lifetime.
+        """
+        cached = plan.derived.get(self._terms_key)
+        if cached is None:
+            work = workload_from_plan(plan, past_lens, self.serve_lora, self.lora_rank)
+            terms = step_latency_terms(
+                self.config, self.cost_model, work, tp=self.tp, flags=self.flags
+            )
+            decode_ids = plan.derived["workload"][1]
+            cached = (terms, decode_ids)
+            plan.derived[self._terms_key] = cached
+        terms, decode_ids = cached
+        return step_latency_from_terms(
+            self.config,
+            self.cost_model,
+            terms,
+            [past_lens[rid] for rid in decode_ids],
+        )
 
 
 class NumpyBackend:
@@ -217,12 +334,19 @@ class NumpyBackend:
     def kv_append(self, request_id: str) -> None:
         self.kv_data.append_slot(request_id)
 
+    def kv_append_many(self, request_ids) -> None:
+        for rid in request_ids:
+            self.kv_data.append_slot(rid)
+
     def kv_release(self, request_id: str) -> None:
         if request_id in self.kv_data.allocator:
             self.kv_data.free(request_id)
 
     def kv_free_tokens(self) -> int:
         return self.kv_data.allocator.free_pages * self.kv_data.page_size
+
+    def kv_headroom_pages(self) -> int:
+        return self.kv_data.allocator.free_pages
 
     # -- execution ----------------------------------------------------------
     def execute(

@@ -18,12 +18,20 @@ under simple closed-loop drivers.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
-from repro.core.batch import BatchEntry, plan_batch
+from repro.core.batch import (
+    BatchEntry,
+    BatchPlan,
+    PlanCache,
+    plan_batch,
+    plan_decode_batch,
+)
 from repro.obs.tracer import EventKind, Tracer
 from repro.runtime.loader import LoraLoader
-from repro.runtime.request import Request
+from repro.runtime.request import Request, RequestState
+from repro.utils.fastpath import fastpath_enabled
 
 
 @dataclass(frozen=True)
@@ -88,6 +96,7 @@ class GpuEngine:
         config: EngineConfig | None = None,
         loader: LoraLoader | None = None,
         tracer: "Tracer | None" = None,
+        fast_path: bool | None = None,
     ):
         self.gpu_id = gpu_id
         self.backend = backend
@@ -97,8 +106,35 @@ class GpuEngine:
         """Optional :class:`~repro.obs.tracer.Tracer` receiving PLACE /
         PREFILL / DECODE_STEP / FINISH / QUEUE(evicted) events."""
         self._working: dict[str, _Slot] = {}
+        self._working_order: list[_Slot] = []
+        """The slots of ``_working`` in ascending ``admit_seq`` — the batch
+        iteration order, maintained incrementally instead of re-sorted
+        every step."""
         self._pending: list[_Slot] = []
         self._admit_seq = 0
+        self.fast_path = fastpath_enabled(fast_path)
+        self._plan_cache = PlanCache() if self.fast_path else None
+        self._steady_ok = self.fast_path and getattr(
+            backend, "supports_steady", False
+        )
+        # Steady-state decode cache: valid while the batch membership is
+        # unchanged and nothing is pending. ``_steady_plan is None`` means
+        # the next step must take the general path and rebuild it.
+        self._steady_plan: "BatchPlan | None" = None
+        self._steady_slots: list[_Slot] = []
+        self._steady_pairs: "list[tuple[Request, str]]" = []
+        self._steady_past: dict[str, int] = {}
+        self._steady_total = 0
+        self._steady_rem: "list[int] | None" = None
+        self._entry_cache: dict[str, BatchEntry] = {}
+        """Decode :class:`BatchEntry` per request id — entries are
+        immutable, so each request's is built once and reused across
+        steady-plan rebuilds."""
+        self.fast_steps = 0
+        """Steps served by the steady-state decode lane (diagnostic only —
+        deliberately not a registry metric so differential runs compare
+        equal)."""
+        self.slow_steps = 0
         self.alive = True
         """False once the GPU crashed; a dead engine accepts and runs nothing."""
         self.slowdown_factor = 1.0
@@ -160,10 +196,16 @@ class GpuEngine:
     def all_requests(self) -> list[Request]:
         """Every request currently on this GPU (working + pending), in
         admission order — what the migration pass iterates over."""
-        slots = sorted(
-            list(self._working.values()) + self._pending, key=lambda s: s.admit_seq
+        return [s.request for s in self._all_slots()]
+
+    def _all_slots(self) -> "list[_Slot]":
+        """Working + pending slots in admission order. Both source lists are
+        already ascending in ``admit_seq`` (working is maintained so;
+        pending is append-ordered), so a linear merge replaces the old
+        full sort."""
+        return list(
+            heapq.merge(self._working_order, self._pending, key=lambda s: s.admit_seq)
         )
-        return [s.request for s in slots]
 
     def next_ready_time(self) -> "float | None":
         """Earliest time a pending request's LoRA load completes.
@@ -211,7 +253,10 @@ class GpuEngine:
         With ``requeue=True`` the request keeps its generated prefix and
         returns to QUEUED (the migration path); otherwise it is CANCELLED.
         """
+        self._steady_plan = None
         slot = self._working.pop(request_id, None)
+        if slot is not None:
+            self._working_order.remove(slot)
         if slot is None:
             for i, s in enumerate(self._pending):
                 if s.request.request_id == request_id:
@@ -236,10 +281,10 @@ class GpuEngine:
         die with the GPU, so no release bookkeeping survives the crash.
         """
         self.alive = False
-        slots = sorted(
-            list(self._working.values()) + self._pending, key=lambda s: s.admit_seq
-        )
+        self._steady_plan = None
+        slots = self._all_slots()
         self._working.clear()
+        self._working_order.clear()
         self._pending.clear()
         displaced = []
         for slot in slots:
@@ -254,7 +299,14 @@ class GpuEngine:
         """Run one batched invocation; ``None`` when nothing can run."""
         if not self.alive:
             return None
+        if (
+            self._steady_plan is not None
+            and not self._pending
+            and self.backend.kv_headroom_pages() >= len(self._steady_slots)
+        ):
+            return self._step_steady(now)
         self.loader.advance(now)
+        self.slow_steps += 1
         # Reserve one new KvCache slot per decode request FIRST (evicting
         # newest requests on pressure), so prefill admission below can only
         # use pages genuinely left over.
@@ -262,7 +314,7 @@ class GpuEngine:
         decode_slots: list[_Slot] = []
         past_lens: dict[str, int] = {}
         appended: set[str] = set()
-        for slot in sorted(self._working.values(), key=lambda s: s.admit_seq):
+        for slot in list(self._working_order):
             req = slot.request
             rid = req.request_id
             if rid not in self._working:  # evicted as a victim earlier
@@ -315,7 +367,10 @@ class GpuEngine:
                 )
             )
 
-        plan = plan_batch(entries)
+        if self._plan_cache is not None:
+            plan = self._plan_cache.plan(entries)
+        else:
+            plan = plan_batch(entries)
         requests = {
             s.request.request_id: s.request for s in prefill_slots + decode_slots
         }
@@ -330,6 +385,7 @@ class GpuEngine:
                 req.kv_len = req.effective_prompt_len
                 req.needs_prefill = False
                 self._working[req.request_id] = slot
+                self._order_insert(slot)
             token = execution.tokens[req.request_id]
             req.record_token(token, end)
             if self._is_finished(req, token):
@@ -337,6 +393,7 @@ class GpuEngine:
 
         for rid in finished:
             slot = self._working.pop(rid)
+            self._working_order.remove(slot)
             self.backend.kv_release(rid)
             self.loader.release(slot.request.lora_id)
             slot.request.mark_finished(end)
@@ -344,6 +401,7 @@ class GpuEngine:
         if self.tracer is not None:
             self._trace_step(now, end, prefill_slots, decode_slots, finished)
 
+        self._refresh_steady()
         return StepReport(
             gpu_id=self.gpu_id,
             start=now,
@@ -356,6 +414,142 @@ class GpuEngine:
             finished=tuple(finished),
             evicted=tuple(evicted),
         )
+
+    def _step_steady(self, now: float) -> StepReport:
+        """Steady-state decode lane: the batch is exactly last step's batch
+        (no pending work, no membership change since) and a free page per
+        request is guaranteed, so per-slot can-append/evict checks, prefill
+        selection, and re-planning are all skipped. Every observable
+        effect — trace events, token values, request state, KvCache
+        contents — is identical to the general path by construction.
+        """
+        self.loader.advance(now)
+        self.fast_steps += 1
+        plan = self._steady_plan
+        pairs = self._steady_pairs
+        self.backend.kv_append_many(self._steady_past)
+        execution = self.backend.execute_steady(
+            plan, self._steady_past, self._steady_total
+        )
+        latency = execution.latency * self.slowdown_factor
+        end = now + latency
+        tokens = execution.tokens
+
+        finished: list[str] = []
+        rem = self._steady_rem
+        if rem is not None:
+            # Length-limit-only stopping (no EOS token): a per-slot
+            # countdown replaces the reached_limit()/record_token calls.
+            # first_token_time is already stamped (every working request
+            # has generated at least one token) so the append is all that
+            # record_token would do.
+            for i, (req, rid) in enumerate(pairs):
+                req.kv_len += 1
+                req.generated_tokens.append(tokens[rid])
+                left = rem[i] - 1
+                rem[i] = left
+                if left == 0:
+                    finished.append(rid)
+        else:
+            for req, rid in pairs:
+                req.kv_len += 1
+                token = tokens[rid]
+                req.record_token(token, end)
+                if self._is_finished(req, token):
+                    finished.append(rid)
+
+        if finished:
+            self._steady_plan = None
+            for rid in finished:
+                slot = self._working.pop(rid)
+                self._working_order.remove(slot)
+                self.backend.kv_release(rid)
+                self.loader.release(slot.request.lora_id)
+                slot.request.mark_finished(end)
+        else:
+            self._steady_total += len(pairs)
+
+        if self.tracer is not None:
+            self._trace_step(now, end, [], self._steady_slots, finished)
+
+        if finished:
+            self._refresh_steady()
+        return StepReport(
+            gpu_id=self.gpu_id,
+            start=now,
+            latency=latency,
+            batch_size=len(pairs),
+            num_prefill=0,
+            num_decode=len(pairs),
+            num_lora_segments=plan.num_lora_segments,
+            new_tokens=tokens,
+            finished=tuple(finished),
+            evicted=(),
+        )
+
+    def _refresh_steady(self) -> None:
+        """(Re)arm the steady-state cache after a step, when the *next*
+        step is known to be a pure decode of the current working set."""
+        if not self._steady_ok or self._pending or not self._working_order:
+            self._steady_plan = None
+            return
+        slots = list(self._working_order)
+        sig_parts = []
+        pairs = []
+        past: dict[str, int] = {}
+        total = 0
+        rem: "list[int] | None" = (
+            [] if self.config.eos_token_id is None else None
+        )
+        for s in slots:
+            req = s.request
+            spec = req.spec
+            rid = spec.request_id
+            sig_parts.append((rid, spec.lora_id, 1, False))
+            pairs.append((req, rid))
+            past[rid] = req.kv_len
+            total += req.kv_len
+            if rem is not None:
+                left = spec.response_len - len(req.generated_tokens)
+                if (
+                    left <= 0
+                    or not req.generated_tokens
+                    or req.state is not RequestState.RUNNING
+                ):
+                    rem = None  # fall back to the per-token finish check
+                else:
+                    rem.append(left)
+        sig = tuple(sig_parts)
+        plan = self._plan_cache.get(sig)
+        if plan is None:
+            cache = self._entry_cache
+            entries = []
+            for rid, lora_id, _, _ in sig_parts:
+                entry = cache.get(rid)
+                if entry is None:
+                    entry = cache[rid] = BatchEntry(
+                        request_id=rid, lora_id=lora_id,
+                        num_tokens=1, is_prefill=False,
+                    )
+                entries.append(entry)
+            plan = plan_decode_batch(entries)
+            self._plan_cache.put(sig, plan)
+        self._steady_plan = plan
+        self._steady_slots = slots
+        self._steady_pairs = pairs
+        self._steady_past = past
+        self._steady_total = total + len(slots)
+        self._steady_rem = rem
+
+    def _order_insert(self, slot: _Slot) -> None:
+        """Insert into ``_working_order`` keeping ascending ``admit_seq``.
+        Loads complete nearly in admission order, so scanning from the end
+        is O(1) in the common case."""
+        order = self._working_order
+        i = len(order)
+        while i > 0 and order[i - 1].admit_seq > slot.admit_seq:
+            i -= 1
+        order.insert(i, slot)
 
     # ------------------------------------------------------------------
     def _trace_step(
@@ -421,18 +615,18 @@ class GpuEngine:
         return True
 
     def _newest_evictable(self, exclude: set[str]) -> "_Slot | None":
-        candidates = [
-            s
-            for s in self._working.values()
-            if s.request.request_id not in exclude
-        ]
-        if not candidates:
-            return None
-        return max(candidates, key=lambda s: s.admit_seq)
+        """Newest-admitted working slot not in ``exclude`` — scanned from the
+        tail of the admit-ordered list (the old ``max`` over all slots)."""
+        for slot in reversed(self._working_order):
+            if slot.request.request_id not in exclude:
+                return slot
+        return None
 
     def _evict(self, slot: _Slot) -> str:
         rid = slot.request.request_id
+        self._steady_plan = None
         del self._working[rid]
+        self._working_order.remove(slot)
         self.backend.kv_release(rid)
         self.loader.release(slot.request.lora_id)
         slot.request.evict()

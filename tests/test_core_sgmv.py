@@ -89,6 +89,175 @@ class TestSgmvExpand:
         np.testing.assert_allclose(y, backbone + v @ wb[0], rtol=1e-12)
 
 
+def pure_python_sgmv(x, weights, seg):
+    """Scalar-loop oracle: no numpy arithmetic beyond element access.
+
+    Computes ``y[r, o] = sum_k x[r, k] * w[i, k, o]`` for every row ``r``
+    of segment ``i`` with plain Python floats — the slowest, most obvious
+    implementation, used to cross-check both the optimized path and the
+    per-row reference.
+    """
+    batch, h_in = x.shape
+    h_out = weights.shape[2]
+    y = [[0.0] * h_out for _ in range(batch)]
+    for i in range(len(seg) - 1):
+        for row in range(int(seg[i]), int(seg[i + 1])):
+            for o in range(h_out):
+                acc = 0.0
+                for k in range(h_in):
+                    acc += float(x[row, k]) * float(weights[i, k, o])
+                y[row][o] = acc
+    return np.asarray(y, dtype=float).reshape(batch, h_out)
+
+
+def all_segment_layouts(batch, max_segments):
+    """Every composition of ``batch`` into 1..max_segments nonneg parts —
+    includes empty segments in every position."""
+    layouts = []
+
+    def rec(prefix, remaining, slots):
+        if slots == 1:
+            layouts.append(prefix + [remaining])
+            return
+        for take in range(remaining + 1):
+            rec(prefix + [take], remaining - take, slots - 1)
+
+    for n in range(1, max_segments + 1):
+        rec([], batch, n)
+    return layouts
+
+
+def seg_with_empties(sizes):
+    """Cumulative boundaries allowing zero-sized segments."""
+    seg = np.zeros(len(sizes) + 1, dtype=np.int64)
+    np.cumsum(np.asarray(sizes, dtype=np.int64), out=seg[1:])
+    return seg
+
+
+class TestSgmvExhaustiveSmallCases:
+    """Every segment layout for tiny batches, numpy vs the scalar oracle.
+
+    Covers the degenerate shapes the kernel scheduler must survive:
+    empty segments (a LoRA model with no requests this invocation),
+    rank-0 adapters (LoRA disabled per-model), and single-request batches.
+    """
+
+    def test_exhaustive_layouts_shrink_and_expand(self):
+        rng = new_rng(123)
+        for batch in (1, 2, 3, 4):
+            for sizes in all_segment_layouts(batch, max_segments=3):
+                seg = seg_with_empties(sizes)
+                n = len(sizes)
+                for h_in, rank in ((1, 1), (3, 2)):
+                    x = rng.standard_normal((batch, h_in))
+                    wa = rng.standard_normal((n, h_in, rank))
+                    expected = pure_python_sgmv(x, wa, seg)
+                    got = sgmv_shrink(np.zeros((batch, rank)), x, wa, seg)
+                    np.testing.assert_allclose(
+                        got, expected, rtol=1e-10, atol=1e-12,
+                        err_msg=f"shrink sizes={sizes} h={h_in} r={rank}",
+                    )
+                    ref = sgmv_shrink_reference(
+                        np.zeros((batch, rank)), x, wa, seg
+                    )
+                    np.testing.assert_allclose(
+                        ref, expected, rtol=1e-10, atol=1e-12,
+                        err_msg=f"reference sizes={sizes} h={h_in} r={rank}",
+                    )
+                    v = rng.standard_normal((batch, rank))
+                    wb = rng.standard_normal((n, rank, h_in))
+                    expected_y = pure_python_sgmv(v, wb, seg)
+                    got_y = sgmv_expand(np.zeros((batch, h_in)), v, wb, seg)
+                    np.testing.assert_allclose(
+                        got_y, expected_y, rtol=1e-10, atol=1e-12,
+                        err_msg=f"expand sizes={sizes} h={h_in} r={rank}",
+                    )
+
+    def test_empty_segments_leave_rows_untouched(self):
+        # [2, 0, 1]: model 1 has no requests; its weights must not leak.
+        seg = seg_with_empties([2, 0, 1])
+        rng = new_rng(5)
+        x = rng.standard_normal((3, 4))
+        wa = rng.standard_normal((3, 4, 2))
+        poisoned = wa.copy()
+        poisoned[1] = np.nan  # would contaminate output if ever touched
+        out = sgmv_shrink(np.zeros((3, 2)), x, poisoned, seg)
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(
+            out, sgmv_shrink(np.zeros((3, 2)), x, wa, seg), rtol=1e-12
+        )
+
+    def test_all_segments_empty(self):
+        seg = seg_with_empties([0, 0])
+        x = np.zeros((0, 4))
+        wa = np.ones((2, 4, 3))
+        out = sgmv_shrink(np.zeros((0, 3)), x, wa, seg)
+        assert out.shape == (0, 3)
+
+    def test_rank_zero_adapters(self):
+        # rank 0: shrink produces (batch, 0); expand adds exactly nothing.
+        seg = seg_with_empties([2, 1])
+        rng = new_rng(6)
+        x = rng.standard_normal((3, 4))
+        wa = rng.standard_normal((2, 4, 0))
+        v = sgmv_shrink(np.zeros((3, 0)), x, wa, seg)
+        assert v.shape == (3, 0)
+        wb = rng.standard_normal((2, 0, 4))
+        backbone = rng.standard_normal((3, 4))
+        y = backbone.copy()
+        sgmv_expand(y, v, wb, seg)
+        np.testing.assert_array_equal(y, backbone)
+
+    def test_single_request_batch(self):
+        seg = seg_with_empties([1])
+        rng = new_rng(7)
+        x = rng.standard_normal((1, 8))
+        wa = rng.standard_normal((1, 8, 4))
+        got = sgmv_shrink(np.zeros((1, 4)), x, wa, seg)
+        np.testing.assert_allclose(
+            got, pure_python_sgmv(x, wa, seg), rtol=1e-10, atol=1e-12
+        )
+
+
+@st.composite
+def sgmv_layout_with_empties(draw):
+    sizes = draw(st.lists(st.integers(0, 4), min_size=1, max_size=6))
+    h_in = draw(st.integers(1, 16))
+    rank = draw(st.integers(0, 6))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return sizes, h_in, rank, seed
+
+
+class TestSgmvRandomizedLayouts:
+    @given(sgmv_layout_with_empties())
+    @settings(max_examples=60, deadline=None)
+    def test_shrink_matches_scalar_oracle(self, problem):
+        sizes, h_in, rank, seed = problem
+        rng = new_rng(seed)
+        seg = seg_with_empties(sizes)
+        batch, n = int(seg[-1]), len(sizes)
+        x = rng.standard_normal((batch, h_in))
+        wa = rng.standard_normal((n, h_in, rank))
+        got = sgmv_shrink(np.zeros((batch, rank)), x, wa, seg)
+        np.testing.assert_allclose(
+            got, pure_python_sgmv(x, wa, seg), rtol=1e-9, atol=1e-11
+        )
+
+    @given(sgmv_layout_with_empties())
+    @settings(max_examples=60, deadline=None)
+    def test_expand_matches_scalar_oracle(self, problem):
+        sizes, h_in, rank, seed = problem
+        rng = new_rng(seed)
+        seg = seg_with_empties(sizes)
+        batch, n = int(seg[-1]), len(sizes)
+        v = rng.standard_normal((batch, rank))
+        wb = rng.standard_normal((n, rank, h_in))
+        got = sgmv_expand(np.zeros((batch, h_in)), v, wb, seg)
+        np.testing.assert_allclose(
+            got, pure_python_sgmv(v, wb, seg), rtol=1e-9, atol=1e-11
+        )
+
+
 @st.composite
 def sgmv_problem(draw):
     sizes = draw(st.lists(st.integers(1, 6), min_size=1, max_size=8))

@@ -1,0 +1,126 @@
+"""Plumbing tests for the perf-regression gate (no wall-clock assertions).
+
+The gate's *timing* thresholds only run in the dedicated CI job
+(``benchmarks/bench_perf_gate.py --check``) — asserting wall-clock in
+tier-1 would make the suite flaky on loaded machines. Tier-1 instead pins
+everything deterministic about the gate: the threshold logic, the JSON
+schema, the equivalence cross-check, and the CLI wiring, using either
+fabricated measurements or a miniature fig13 scale.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.fig13_cluster import Fig13Scale
+from repro.bench.perf_gate import (
+    DEFAULT_THRESHOLDS,
+    PerfMeasurement,
+    evaluate_gate,
+    load_thresholds,
+    measure,
+    run_perf_gate,
+    write_results,
+)
+
+TINY = Fig13Scale(num_gpus=2, duration=12.0, peak_rate=4.0, bucket=4.0)
+
+
+def fake(fast=1.0, ref=4.0, finished=500, tokens=10_000):
+    return PerfMeasurement(
+        scenario="fake", seed=0, fast_wall_s=fast, ref_wall_s=ref,
+        finished_requests=finished, tokens_generated=tokens,
+        events_processed=1234, sim_duration_s=60.0,
+    )
+
+
+class TestEvaluateGate:
+    def test_passes_when_all_thresholds_met(self):
+        assert evaluate_gate([fake(), fake(fast=1.05)]) == []
+
+    def test_speedup_floor(self):
+        failures = evaluate_gate([fake(fast=2.0)])  # 2x < 3x floor
+        assert len(failures) == 1 and "speedup" in failures[0]
+
+    def test_throughput_floor(self):
+        failures = evaluate_gate([fake(finished=10)])  # 10 req/s < 150
+        assert len(failures) == 1 and "throughput" in failures[0]
+
+    def test_variance_bound(self):
+        failures = evaluate_gate([fake(fast=1.0, ref=40.0), fake(fast=1.5, ref=40.0)])
+        assert len(failures) == 1 and "variance" in failures[0]
+
+    def test_worst_round_gates(self):
+        # One good round must not mask a bad one.
+        failures = evaluate_gate([fake(), fake(fast=1.1, ref=2.0)])
+        assert any("speedup" in f for f in failures)
+
+    def test_threshold_overrides(self):
+        assert evaluate_gate([fake(fast=2.0)], {"min_speedup": 1.5}) == []
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_gate([])
+
+
+class TestJsonRoundTrip:
+    def test_write_and_load(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        payload = write_results([fake()], path, {"min_speedup": 2.5})
+        data = json.loads(path.read_text())
+        assert data == payload
+        assert data["thresholds"]["min_speedup"] == 2.5
+        (result,) = data["results"]
+        assert result["speedup"] == 4.0
+        assert result["fast_requests_per_s"] == 500.0
+        th = load_thresholds(path)
+        assert th["min_speedup"] == 2.5
+        # Unspecified keys fall back to defaults.
+        assert th["max_variance"] == DEFAULT_THRESHOLDS["max_variance"]
+
+    def test_missing_file_uses_defaults(self, tmp_path):
+        assert load_thresholds(tmp_path / "absent.json") == DEFAULT_THRESHOLDS
+
+    def test_checked_in_file_is_consistent(self):
+        from repro.bench.perf_gate import BENCH_JSON
+
+        data = json.loads(BENCH_JSON.read_text())
+        assert set(data) == {"thresholds", "results"}
+        assert data["thresholds"]["min_speedup"] >= 3.0
+        for result in data["results"]:
+            assert result["speedup"] >= data["thresholds"]["min_speedup"]
+
+
+class TestMeasurePlumbing:
+    def test_measure_tiny_scale(self):
+        m = measure(seed=0, scale=TINY, scenario="tiny")
+        assert m.finished_requests > 0
+        assert m.tokens_generated > 0
+        assert m.fast_wall_s > 0 and m.ref_wall_s > 0
+        data = m.to_json()
+        assert data["scenario"] == "tiny"
+        assert data["finished_requests"] == m.finished_requests
+
+    def test_run_perf_gate_renders(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        table, _ = run_perf_gate(
+            seed=0, rounds=1, scale=TINY, json_path=path, write_json=True
+        )
+        text = table.render()
+        assert "Perf gate" in text and "speedup" in text
+        assert path.exists()
+
+
+def test_cli_perf_smoke(tmp_path, monkeypatch, capsys):
+    """``repro perf`` wires through to the gate (tiny scale, no check)."""
+    import repro.bench.perf_gate as pg
+    from repro.cli import main
+
+    monkeypatch.setattr(pg, "QUICK", TINY)
+    rc = main(["perf", "--rounds", "1", "--out", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Perf gate" in out
+    assert (tmp_path / "perf_gate.txt").exists()

@@ -203,3 +203,104 @@ class TestStepReport:
         assert r.latency > 0
         assert r.num_prefill == 1 and r.num_decode == 0
         assert r.batch_size == 1
+
+
+class TestEvictionOrderingRegression:
+    """Pin §5.3's newest-victim-first ordering under sustained KvCache
+    pressure, with multiple victims in one run and on both engine paths.
+
+    The scenario: four requests admitted in order, then the remaining
+    KvCache pages are consumed by a blocker allocation. As each request's
+    sequence crosses a page boundary it needs a fresh page, so victims
+    must fall in exact reverse-admission order (d first, then c) while
+    the two oldest requests run to completion — FCFS preserved.
+    """
+
+    @pytest.mark.parametrize("fast_path", [True, False])
+    def test_multi_victim_newest_first(self, fast_path):
+        bpt = LLAMA2_7B.kv_bytes_per_token()
+        backend = SimulatedBackend(
+            LLAMA2_7B, kv_capacity_bytes=8 * 16 * bpt, step_overhead=0.0,
+            fast_path=fast_path,
+        )
+        engine = GpuEngine(
+            "gpu0", backend, EngineConfig(max_batch_size=8),
+            fast_path=fast_path,
+        )
+        reqs = {
+            rid: make_request(rid, prompt=8, response=12)
+            for rid in ("a", "b", "c", "d")
+        }
+        now = 0.0
+        reports = []
+        for rid in ("a", "b", "c", "d"):
+            engine.add_request(reqs[rid], now)
+            for _ in range(100):
+                r = engine.step(now)
+                if r is None:
+                    now += 1e-3
+                    continue
+                reports.append(r)
+                now = r.end
+                if not reqs[rid].needs_prefill:
+                    break
+            assert not reqs[rid].needs_prefill
+        # Eat every remaining page: the next boundary crossing must evict.
+        backend.kv_admit("blocker", backend.kv.free_pages * 16)
+        assert backend.kv.free_pages == 0
+        for _ in range(400):
+            r = engine.step(now)
+            if r is None:
+                if engine.is_idle:
+                    break
+                now += 1e-3
+                continue
+            reports.append(r)
+            now = r.end
+        evicted = [rid for r in reports for rid in r.evicted]
+        assert evicted == ["d", "c"]  # strict newest-first, one per crossing
+        assert reqs["a"].state is RequestState.FINISHED
+        assert reqs["b"].state is RequestState.FINISHED
+        assert reqs["c"].state is RequestState.QUEUED
+        assert reqs["d"].state is RequestState.QUEUED
+        # Victims keep their generated prefix for re-placement (§5.3).
+        assert reqs["c"].num_generated > 0
+        assert reqs["d"].num_generated > 0
+
+    def test_fast_and_reference_evictions_agree(self):
+        def run(fast_path):
+            bpt = LLAMA2_7B.kv_bytes_per_token()
+            backend = SimulatedBackend(
+                LLAMA2_7B, kv_capacity_bytes=6 * 16 * bpt, step_overhead=0.0,
+                fast_path=fast_path,
+            )
+            engine = GpuEngine(
+                "gpu0", backend, EngineConfig(max_batch_size=8),
+                fast_path=fast_path,
+            )
+            reqs = [
+                make_request(f"r{i}", prompt=8, response=20, arrival=0.1 * i)
+                for i in range(5)
+            ]
+            now, i = 0.0, 0
+            log = []
+            for _ in range(600):
+                while i < len(reqs) and reqs[i].spec.arrival_time <= now:
+                    if engine.can_accept(reqs[i]):
+                        engine.add_request(reqs[i], now)
+                        i += 1
+                    else:
+                        break
+                r = engine.step(now)
+                if r is None:
+                    if engine.is_idle and i >= len(reqs):
+                        break
+                    now += 1e-3
+                    continue
+                log.append(
+                    (round(r.start, 9), r.batch_size, r.finished, r.evicted)
+                )
+                now = r.end
+            return log, [(q.request_id, q.state) for q in reqs]
+
+        assert run(True) == run(False)
