@@ -8,6 +8,7 @@ wall-clock of the real NumPy kernels.
 """
 
 from repro.bench.adapter_cache import run_adapter_cache_ablation
+from repro.bench.disagg_ablation import run_disagg_ablation
 from repro.bench.faults_ablation import run_faults_ablation
 from repro.bench.fig01_batching import run_fig01
 from repro.bench.fig07_roofline import run_fig07
@@ -23,6 +24,7 @@ from repro.bench.reporting import FigureTable
 __all__ = [
     "FigureTable",
     "run_adapter_cache_ablation",
+    "run_disagg_ablation",
     "run_faults_ablation",
     "run_fig01",
     "run_fig07",

@@ -61,6 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--requests", type=int, default=None,
                            help="trace size (default: quick scale)")
     _add_adapters_parser(sub)
+    _add_disagg_parser(sub)
     _add_faults_parser(sub)
     _add_trace_parser(sub)
     _add_perf_parser(sub)
@@ -97,6 +98,20 @@ def _add_adapters_parser(sub) -> None:
     simc.add_argument("--out", type=pathlib.Path, default=None)
 
 
+def _add_disagg_parser(sub) -> None:
+    """The disaggregation subcommand (prefill/decode split ablation)."""
+    disagg = sub.add_parser(
+        "disagg",
+        help="disaggregated prefill/decode ablation with paged KV handoff",
+    )
+    disagg.add_argument("--seed", type=int, default=0, help="trace seed")
+    disagg.add_argument(
+        "--interconnect", choices=["nvlink", "pcie"], default="nvlink",
+        help="interconnect model pricing the KV handoff (default: nvlink)",
+    )
+    disagg.add_argument("--out", type=pathlib.Path, default=None)
+
+
 def _add_faults_parser(sub) -> None:
     """The fault-injection subcommand (crash ablation on the cluster sim)."""
     faults = sub.add_parser(
@@ -118,7 +133,7 @@ def _add_trace_parser(sub) -> None:
     )
     trace.add_argument(
         "scenario", nargs="?", default="single_gpu",
-        choices=["single_gpu", "cluster_migration", "faults"],
+        choices=["single_gpu", "cluster_migration", "faults", "disagg"],
         help="which seeded scenario to run (default: single_gpu)",
     )
     trace.add_argument("--seed", type=int, default=0,
@@ -187,6 +202,20 @@ def _run_trace(args) -> int:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         result.tracer.dump_jsonl(args.out)
         print(f"trace written to {args.out}")
+    return 0
+
+
+def _run_disagg(args) -> int:
+    from repro.bench import run_disagg_ablation
+
+    table = run_disagg_ablation(
+        seed=args.seed, interconnect_name=args.interconnect
+    )
+    text = table.render()
+    print(text)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "disagg.txt").write_text(text + "\n")
     return 0
 
 
@@ -326,6 +355,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return 0
     if args.command == "adapters":
         return _run_adapters(args)
+    if args.command == "disagg":
+        return _run_disagg(args)
     if args.command == "faults":
         return _run_faults(args)
     if args.command == "trace":

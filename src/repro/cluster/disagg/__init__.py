@@ -1,0 +1,13 @@
+"""Disaggregated prefill/decode serving (see docs/disagg.md).
+
+Splits the engine pool into a prefill pool and a decode pool: prefills run
+on dedicated GPUs (so they never stall co-resident decodes), then each
+request's paged KvCache is handed off over the interconnect to a decode
+GPU picked by adapter working-set locality. See
+:class:`~repro.cluster.disagg.simulator.DisaggSimulator`.
+"""
+
+from repro.cluster.disagg.config import INTERCONNECTS, DisaggConfig
+from repro.cluster.disagg.simulator import DisaggSimulator
+
+__all__ = ["DisaggConfig", "DisaggSimulator", "INTERCONNECTS"]

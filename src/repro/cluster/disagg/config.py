@@ -1,0 +1,34 @@
+"""Configuration for disaggregated prefill/decode serving."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.interconnect import NVLINK_A100, PCIE_GEN4_P2P, InterconnectSpec
+
+INTERCONNECTS: "dict[str, InterconnectSpec]" = {
+    "nvlink": NVLINK_A100,
+    "pcie": PCIE_GEN4_P2P,
+}
+"""Named point-to-point links the KV handoff can be priced with (the
+``repro disagg --interconnect`` choices)."""
+
+
+@dataclass(frozen=True)
+class DisaggConfig:
+    """Knobs of the disaggregated serving layer."""
+
+    interconnect: InterconnectSpec = NVLINK_A100
+    """Point-to-point link the paged KV handoff travels over; its
+    :meth:`~repro.hw.interconnect.InterconnectSpec.transfer_time` prices
+    each handoff by the request's KV bytes."""
+    decode_queue_limit: int = 8
+    """Backpressure bound: when in-flight handoffs plus requests waiting
+    for decode admission reach this, newly prefilled requests fall back to
+    colocated decode on their prefill GPU instead of transferring."""
+
+    def __post_init__(self) -> None:
+        if self.decode_queue_limit < 1:
+            raise ValueError(
+                f"decode_queue_limit must be >= 1, got {self.decode_queue_limit}"
+            )

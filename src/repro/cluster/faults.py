@@ -41,6 +41,10 @@ class FaultKind(enum.Enum):
     """One in-flight adapter copy fails; its requests are re-placed."""
     PCIE_STALL = "pcie_stall"
     """Every in-flight adapter copy on one GPU slips by ``duration`` s."""
+    KV_TRANSFER_FAIL = "kv_transfer_fail"
+    """One in-flight paged KV handoff is lost; the request drops its KV
+    copy and falls back to the §5.3 re-prefill path (disaggregated mode
+    only — a no-op under the colocated simulator)."""
 
 
 @dataclass(frozen=True)
@@ -189,6 +193,11 @@ class FaultInjector:
         if inflight is None:
             return None
         candidates = sorted(inflight(now))
+        return self._rng.choice(candidates) if candidates else None
+
+    def pick_transfer(self, request_ids) -> "str | None":
+        """Pick one in-flight KV handoff (by request id) to lose."""
+        candidates = sorted(request_ids)
         return self._rng.choice(candidates) if candidates else None
 
     # ------------------------------------------------------------------

@@ -100,6 +100,15 @@ class ClusterMetrics:
     recoveries: TimeSeries = field(default_factory=TimeSeries)
     """(recovery time, seconds since the fault) — one sample per fault
     whose displaced requests all reached a GPU (or terminal state) again."""
+    kv_transfers: TimeSeries = field(default_factory=TimeSeries)
+    """(transfer completion time, transfer seconds) per paged KV handoff
+    between the prefill and decode pools (disaggregated mode)."""
+    kv_transfer_failures: TimeSeries = field(default_factory=TimeSeries)
+    """(time, 1) per KV handoff lost to an injected transfer fault; the
+    request falls back to the §5.3 re-prefill path."""
+    colocated_fallbacks: TimeSeries = field(default_factory=TimeSeries)
+    """(time, 1) per prefilled request kept on its prefill GPU because the
+    decode pool was saturated (disaggregated mode's escape hatch)."""
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     """The unified per-run registry every record_* call also feeds (the
     tests/test_metrics_parity.py contract keeps both views exactly equal)."""
@@ -139,6 +148,15 @@ class ClusterMetrics:
         r.counter("sheds_total", "requests shed with a FAILED terminal state")
         r.histogram("recovery_latency_seconds",
                     "seconds from fault injection to full re-admission")
+        r.counter("kv_transfers_total",
+                  "paged KV handoffs between prefill and decode pools")
+        r.counter("kv_transfer_bytes_total",
+                  "bytes of KV history moved over the interconnect")
+        r.histogram("kv_transfer_seconds", "per-handoff interconnect time")
+        r.counter("kv_transfer_failures_total",
+                  "KV handoffs lost to transfer faults (re-prefill)")
+        r.counter("disagg_colocated_fallbacks_total",
+                  "prefilled requests decoded in place: decode pool full")
 
     def record_arrival(self, t: float) -> None:
         self.arrivals.record(t, 1.0)
@@ -221,6 +239,37 @@ class ClusterMetrics:
             "recovery_latency_seconds",
             "seconds from fault injection to full re-admission",
         ).observe(float(latency))
+
+    # -- disaggregated prefill/decode ------------------------------------
+    def record_kv_transfer(self, t: float, duration: float, nbytes: float) -> None:
+        """One paged KV handoff completed at ``t`` after ``duration`` on
+        the wire (recorded at completion so the series stays monotone)."""
+        self.kv_transfers.record(t, float(duration))
+        self.registry.counter(
+            "kv_transfers_total",
+            "paged KV handoffs between prefill and decode pools",
+        ).inc()
+        self.registry.counter(
+            "kv_transfer_bytes_total",
+            "bytes of KV history moved over the interconnect",
+        ).inc(float(nbytes))
+        self.registry.histogram(
+            "kv_transfer_seconds", "per-handoff interconnect time"
+        ).observe(float(duration))
+
+    def record_kv_transfer_failure(self, t: float) -> None:
+        self.kv_transfer_failures.record(t, 1.0)
+        self.registry.counter(
+            "kv_transfer_failures_total",
+            "KV handoffs lost to transfer faults (re-prefill)",
+        ).inc()
+
+    def record_colocated_fallback(self, t: float) -> None:
+        self.colocated_fallbacks.record(t, 1.0)
+        self.registry.counter(
+            "disagg_colocated_fallbacks_total",
+            "prefilled requests decoded in place: decode pool full",
+        ).inc()
 
     def ingest_adapter_events(self, events) -> None:
         """Fold store event logs (see
@@ -306,3 +355,18 @@ class ClusterMetrics:
         if not self.recoveries.values:
             return 0.0
         return float(np.mean(self.recoveries.values))
+
+    def kv_transfer_count(self) -> int:
+        return len(self.kv_transfers)
+
+    def kv_transfer_seconds(self) -> float:
+        """Total interconnect time spent on KV handoffs."""
+        if not self.kv_transfers.values:
+            return 0.0
+        return float(np.sum(self.kv_transfers.values))
+
+    def kv_transfer_failure_count(self) -> int:
+        return len(self.kv_transfer_failures)
+
+    def colocated_fallback_count(self) -> int:
+        return len(self.colocated_fallbacks)

@@ -166,6 +166,16 @@ class PunicaScheduler:
         tier_of = getattr(engine, "adapter_tier", None)
         return tier_of(request.lora_id) if tier_of is not None else 0
 
+    @staticmethod
+    def _prefill_capable(engine) -> bool:
+        """Whether an engine may run prefills — everything except pure
+        decode-pool members (engines without a role are colocated)."""
+        return getattr(engine, "role", "both") != "decode"
+
+    @staticmethod
+    def _decode_capable(engine) -> bool:
+        return getattr(engine, "role", "both") != "prefill"
+
     def _route(self, request: Request) -> "str | None":
         """§5.1: largest working set among feasible GPUs; ties -> adapter
         locality (GPU-resident beats HOST-staged beats DISK-only), then
@@ -175,11 +185,15 @@ class PunicaScheduler:
         least-loaded-first (ties still -> locality, then max UUID), the
         conventional balancing rule the paper argues against for
         consolidation.
+
+        New and re-queued requests need a prefill, so pure decode-pool
+        engines are never candidates here; they admit work only through
+        :meth:`route_decode`.
         """
         candidates = [
             (e.working_set_size, self._adapter_locality(e, request), gid)
             for gid, e in self.engines.items()
-            if e.can_accept(request)
+            if self._prefill_capable(e) and e.can_accept(request)
         ]
         if not candidates:
             return None
@@ -191,6 +205,26 @@ class PunicaScheduler:
             _, gpu = max(
                 (loc, gid) for ws, loc, gid in candidates if ws == load
             )
+        return gpu
+
+    def route_decode(self, request: Request, kv_tokens: int) -> "str | None":
+        """Pick the decode GPU for a request whose KV handoff completed.
+
+        CaraServe-style adapter locality leads: a GPU already holding the
+        adapter skips the load stall entirely, which on the decode path is
+        the dominant admission cost (the KV pages arrive either way). Ties
+        fall back to Punica's pack rule (largest working set), then max
+        UUID. Returns None when no decode-capable engine can admit the
+        imported history right now.
+        """
+        candidates = [
+            (self._adapter_locality(e, request), e.working_set_size, gid)
+            for gid, e in self.engines.items()
+            if self._decode_capable(e) and e.can_accept_import(request, kv_tokens)
+        ]
+        if not candidates:
+            return None
+        _, _, gpu = max(candidates)
         return gpu
 
     def drain_queue(self, now: float) -> list[str]:
@@ -297,6 +331,7 @@ class PunicaScheduler:
             (e.working_set_size, self._adapter_locality(e, request), gid)
             for gid, e in self.engines.items()
             if gid != source_id
+            and self._prefill_capable(e)
             and e.working_set_size > source.working_set_size
             and e.can_accept(request)
         ]

@@ -130,6 +130,11 @@ class ClusterSimulator:
         self._pending_arrivals = 0
         self._recovering: list[tuple[float, list[Request]]] = []
         """(fault time, displaced requests) sets not yet fully re-admitted."""
+        self._step_hook = None
+        """Optional ``(gpu_id, engine, report) -> None`` called after each
+        step's finish/evict handling — the disaggregated subsystem's
+        export/drain hook. ``None`` keeps the colocated hot loop at one
+        falsy attribute test per step."""
 
     # ------------------------------------------------------------------
     def run(self, trace: Trace, until: float | None = None) -> SimulationResult:
@@ -296,6 +301,9 @@ class ClusterSimulator:
                     for gid in set(placed):
                         self._kick(gid, end)
 
+                if self._step_hook is not None:
+                    self._step_hook(gpu_id, engine, report)
+
                 if engine.is_idle:
                     self._gpu_busy[gpu_id] = False
                     if self._recovering:
@@ -396,7 +404,16 @@ class ClusterSimulator:
             self._replace_requests(victims, now)
             return gpu_id, True
 
+        if spec.kind is FaultKind.KV_TRANSFER_FAIL:
+            return self._fail_transfer(spec, now)
+
         raise ValueError(f"unknown fault kind {spec.kind!r}")
+
+    def _fail_transfer(self, spec: FaultSpec, now: float) -> "tuple[str | None, bool]":
+        """Lose one in-flight KV handoff. The colocated simulator has no
+        transfers, so the fault is dropped (``applied=False``); the
+        disaggregated simulator overrides this."""
+        return spec.gpu_id, False
 
     def _pick_load_failure(
         self, spec: FaultSpec, now: float

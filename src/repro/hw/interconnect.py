@@ -49,6 +49,19 @@ class InterconnectSpec:
         wire = (world_size - 1) / world_size * nbytes / self.bus_bandwidth
         return self.latency + wire
 
+    def transfer_time(self, nbytes: float) -> float:
+        """Time for a point-to-point copy of ``nbytes`` between two GPUs.
+
+        Unlike the collectives there is no world-size scaling: one sender
+        streams to one receiver over the full per-GPU link. Small messages
+        are latency-dominated (``latency`` covers launch + sync of the
+        copy engine); a 0-byte transfer costs nothing.
+        """
+        check_nonnegative("nbytes", nbytes)
+        if nbytes == 0:
+            return 0.0
+        return self.latency + nbytes / self.bus_bandwidth
+
 
 #: NvSwitch on HGX A100: 600 GB/s bidirectional NvLink per GPU; we use the
 #: ~250 GB/s effective uni-directional figure typical of NCCL all-reduce,
@@ -56,4 +69,12 @@ class InterconnectSpec:
 #: activations are tiny, so this latency term dominates TP overhead).
 NVLINK_A100 = InterconnectSpec(
     name="NvSwitch (HGX A100)", bus_bandwidth=250 * GB, latency=25 * US
+)
+
+#: PCIe Gen4 x16 peer-to-peer: ~32 GB/s raw, ~25 GB/s effective after
+#: protocol overhead, with a higher launch latency than NvLink since p2p
+#: copies bounce through the root complex on most server topologies.
+#: This is the slow option for the disaggregated KV handoff path.
+PCIE_GEN4_P2P = InterconnectSpec(
+    name="PCIe Gen4 x16 p2p", bus_bandwidth=25 * GB, latency=50 * US
 )

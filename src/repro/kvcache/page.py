@@ -173,6 +173,29 @@ class PageAllocator:
         self._free.extend(reversed(pages))
         return len(pages)
 
+    def export_sequence(self, seq_id: str) -> int:
+        """Release a sequence for handoff to another allocator.
+
+        Returns the sequence length so the receiving allocator can
+        :meth:`import_sequence` it. Physically identical to :meth:`free`
+        (the pages are recycled locally; the bytes travel over the
+        interconnect), but named so call sites distinguish "KV moved
+        elsewhere" from "KV discarded".
+        """
+        self._require(seq_id)
+        seq_len = self._seq_len[seq_id]
+        self.free(seq_id)
+        return seq_len
+
+    def import_sequence(self, seq_id: str, seq_len: int) -> list[int]:
+        """Admit a sequence exported from another allocator.
+
+        Allocates ``ceil(seq_len / P)`` local pages to receive the copied
+        KV history; the partially-filled last page keeps growing through
+        the normal :meth:`append_token` path afterwards.
+        """
+        return self.allocate(seq_id, seq_len)
+
     # -- stats ---------------------------------------------------------
     def stats(self) -> PageAllocatorStats:
         return PageAllocatorStats(

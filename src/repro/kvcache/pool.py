@@ -84,6 +84,19 @@ class KvPool:
     def free(self, seq_id: str) -> int:
         return self.allocator.free(seq_id)
 
+    def export_sequence(self, seq_id: str) -> int:
+        return self.allocator.export_sequence(seq_id)
+
+    def import_sequence(self, seq_id: str, seq_len: int) -> list[int]:
+        return self.allocator.import_sequence(seq_id, seq_len)
+
+    def bytes_of(self, num_tokens: int) -> float:
+        """Wire bytes of ``num_tokens`` of KV history (page-granular copies
+        still only move the written token slots)."""
+        if num_tokens < 0:
+            raise ValueError(f"num_tokens must be nonnegative, got {num_tokens}")
+        return float(num_tokens) * self.bytes_per_token
+
     def seq_len(self, seq_id: str) -> int:
         return self.allocator.seq_len(seq_id)
 

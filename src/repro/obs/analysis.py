@@ -1,12 +1,15 @@
 """Per-request latency attribution from a trace (the §6 breakdowns).
 
-A request's end-to-end latency decomposes into five phases, reconstructed
+A request's end-to-end latency decomposes into six phases, reconstructed
 by walking its event timeline:
 
-* **queue** — SUBMIT (or a post-cancel wait) until first placement;
+* **queue** — SUBMIT (or a post-cancel wait) until first placement, plus
+  the decode-admission wait after a disaggregated KV handoff lands;
 * **load_stall** — on a GPU but waiting for the LoRA copy / prefill slot;
 * **prefill** — inside prefill invocations;
 * **decode** — inside decode invocations;
+* **transfer** — paged KV handoff in flight between the prefill and
+  decode pools (disaggregated mode only);
 * **migration** — off-GPU after an eviction, migration or fault, until
   re-placed (the §5.3 re-prefill tax shows up as extra prefill time).
 
@@ -23,7 +26,7 @@ from dataclasses import dataclass, field
 from repro.obs.tracer import EventKind, TraceEvent, Tracer
 from repro.utils.tables import format_table
 
-COMPONENTS = ("queue", "load_stall", "prefill", "decode", "migration")
+COMPONENTS = ("queue", "load_stall", "prefill", "decode", "transfer", "migration")
 
 
 @dataclass
@@ -83,6 +86,10 @@ def _walk_timeline(request_id: str, timeline: "list[TraceEvent]") -> RequestBrea
     phase = "queue"
     cursor = first.time
     placed_once = False
+    awaiting_decode = False
+    """Between KV_TRANSFER_DONE and the decode-pool PLACE: the wait is
+    admission queueing, not migration, even though the request was placed
+    before."""
 
     def close(upto: float, into: str) -> float:
         # Clamp rather than reject overlap: a fault can displace a request
@@ -96,20 +103,38 @@ def _walk_timeline(request_id: str, timeline: "list[TraceEvent]") -> RequestBrea
         kind = event.kind
         if kind is EventKind.QUEUE:
             cursor = close(event.time, phase)
-            phase = "migration" if placed_once else "queue"
+            phase = (
+                "queue"
+                if awaiting_decode or not placed_once
+                else "migration"
+            )
         elif kind is EventKind.PLACE:
             cursor = close(event.time, phase)
             phase = "load_stall"
             placed_once = True
+            awaiting_decode = False
         elif kind is EventKind.PREFILL:
             start = float(event.attrs.get("start", event.time))
             cursor = close(start, phase)
             cursor = close(event.time, "prefill")
             phase = "decode"
         elif kind is EventKind.DECODE_STEP:
+            if phase != "decode":
+                # An imported request has no PREFILL on its decode GPU;
+                # the adapter wait before its first decode invocation is
+                # a load stall, closed at the step's start mark.
+                start = float(event.attrs.get("start", event.time))
+                cursor = close(start, phase)
             cursor = close(event.time, "decode")
             phase = "decode"
             bd.num_decode_steps += 1
+        elif kind is EventKind.KV_TRANSFER_START:
+            cursor = close(event.time, phase)
+            phase = "transfer"
+        elif kind is EventKind.KV_TRANSFER_DONE:
+            cursor = close(event.time, "transfer")
+            phase = "queue"
+            awaiting_decode = True
         elif kind is EventKind.MIGRATE:
             cursor = close(event.time, phase)
             phase = "migration"

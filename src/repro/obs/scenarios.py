@@ -10,7 +10,10 @@ regimes:
 * ``cluster_migration`` — a 4-GPU cluster under load with consolidation
   migration enabled (the Fig 13 / §5.3 path);
 * ``faults`` — the same cluster under a scripted fault plan (crash,
-  slowdown, PCIe stall) exercising the recovery machinery.
+  slowdown, PCIe stall) exercising the recovery machinery;
+* ``disagg`` — a role-split 2-prefill/2-decode pool with paged KV
+  handoffs over NvLink, sized so backpressure forces some colocated
+  fallbacks (the docs/disagg.md path).
 
 ``tests/test_trace_golden.py`` replays these against checked-in JSONL
 fixtures; ``repro trace`` runs them from the shell. Keep them small —
@@ -23,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Callable
 
+from repro.cluster.disagg import DisaggConfig, DisaggSimulator
 from repro.cluster.faults import FaultInjector, FaultKind, FaultSpec
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.scheduler import SchedulerConfig
@@ -141,10 +145,31 @@ def run_faults(seed: int = 0, fast_path: "bool | None" = None) -> ScenarioResult
     return ScenarioResult("faults", tracer, result.requests, metrics=result.metrics)
 
 
+def run_disagg(seed: int = 0, fast_path: "bool | None" = None) -> ScenarioResult:
+    """Disaggregated 2-prefill/2-decode pool: every request prefills on
+    the prefill pool, hands its KV pages off over NvLink, and decodes on
+    the decode GPU with the best adapter locality. The tight decode queue
+    bound forces some colocated fallbacks under the load spike."""
+    trace = _open_loop(seed, rate=12.0, duration=4.0)
+    tracer = Tracer()
+    sim = DisaggSimulator(
+        [_engine(f"gpu{i:02d}", max_batch_size=4, step_overhead=0.1,
+                 fast_path=fast_path) for i in range(2)],
+        [_engine(f"gpu{i:02d}", max_batch_size=4, step_overhead=0.1,
+                 fast_path=fast_path) for i in range(2, 4)],
+        config=DisaggConfig(decode_queue_limit=2),
+        tracer=tracer,
+        fast_path=fast_path,
+    )
+    result = sim.run(trace)
+    return ScenarioResult("disagg", tracer, result.requests, metrics=result.metrics)
+
+
 SCENARIOS: "dict[str, Callable[..., ScenarioResult]]" = {
     "single_gpu": run_single_gpu,
     "cluster_migration": run_cluster_migration,
     "faults": run_faults,
+    "disagg": run_disagg,
 }
 
 

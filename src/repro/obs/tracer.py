@@ -4,7 +4,8 @@ Every component of the serving stack emits typed, timestamped
 :class:`TraceEvent` records into one :class:`Tracer`: the cluster
 simulator stamps SUBMIT/SHED, the scheduler QUEUE/MIGRATE, the engine
 PLACE/PREFILL/DECODE_STEP/FINISH, the fault injector FAULT, the frontend
-CANCEL, and the adapter store ADAPTER_LOAD. Timestamps come from the
+CANCEL, the adapter store ADAPTER_LOAD, and the disaggregated serving
+layer KV_TRANSFER_START/KV_TRANSFER_DONE. Timestamps come from the
 simulated clock, so under a fixed seed a trace is *byte-identical* across
 runs — the property the golden-trace harness (tests/test_trace_golden.py)
 turns into a whole-stack regression fixture.
@@ -39,6 +40,12 @@ class EventKind(enum.Enum):
     """Demand adapter load on a GPU (attrs: lora, tier, copy_s, nbytes)."""
     MIGRATE = "MIGRATE"
     """Consolidation moved the request (attrs: source, target)."""
+    KV_TRANSFER_START = "KV_TRANSFER_START"
+    """Paged KV handoff left the prefill GPU (attrs: nbytes, duration,
+    link, target hints; gpu_id = source GPU)."""
+    KV_TRANSFER_DONE = "KV_TRANSFER_DONE"
+    """Paged KV handoff landed; the request awaits decode admission
+    (attrs: nbytes; gpu_id = source GPU the bytes came from)."""
     FAULT = "FAULT"
     """Injected fault fired (attrs: fault, applied; request_id is None)."""
     CANCEL = "CANCEL"

@@ -210,6 +210,31 @@ class SimulatedBackend:
             return self.pool.kv_free_tokens() // self.pool.kv.page_size
         return self.kv.free_pages
 
+    # -- KV handoff (disaggregated prefill/decode) ------------------------
+    def kv_export(self, request_id: str) -> int:
+        """Release a sequence for transfer; returns its token count."""
+        tokens = self.kv.seq_len(request_id)
+        if self.pool is not None:
+            self.pool.kv_release(request_id)
+        else:
+            self.kv.export_sequence(request_id)
+        return tokens
+
+    def kv_can_import(self, num_tokens: int, headroom_tokens: int = 0) -> bool:
+        """Whether an exported sequence of ``num_tokens`` fits here now."""
+        return self.kv_can_admit(num_tokens, headroom_tokens)
+
+    def kv_import(self, request_id: str, num_tokens: int) -> None:
+        """Admit a sequence whose KV history arrived over the interconnect."""
+        if self.pool is not None:
+            self.pool.kv_admit(request_id, num_tokens)
+            return
+        self.kv.import_sequence(request_id, num_tokens)
+
+    def kv_bytes_of(self, num_tokens: int) -> float:
+        """Wire bytes of ``num_tokens`` of KV history on this GPU."""
+        return self.kv.bytes_of(num_tokens)
+
     # -- execution ----------------------------------------------------------
     def execute(
         self,
@@ -347,6 +372,24 @@ class NumpyBackend:
 
     def kv_headroom_pages(self) -> int:
         return self.kv_data.allocator.free_pages
+
+    # -- KV handoff (disaggregated prefill/decode) ------------------------
+    # Accounting-only: pages move between allocators but the stored K/V
+    # payload is not copied across PagedKvData arrays yet (see ROADMAP),
+    # so functional-mode disaggregation re-prefills after import.
+    def kv_export(self, request_id: str) -> int:
+        tokens = self.kv_data.allocator.seq_len(request_id)
+        self.kv_data.free(request_id)
+        return tokens
+
+    def kv_can_import(self, num_tokens: int, headroom_tokens: int = 0) -> bool:
+        return self.kv_data.allocator.can_allocate(num_tokens + headroom_tokens)
+
+    def kv_import(self, request_id: str, num_tokens: int) -> None:
+        self.kv_data.allocate(request_id, num_tokens)
+
+    def kv_bytes_of(self, num_tokens: int) -> float:
+        return float(num_tokens) * self.config.kv_bytes_per_token()
 
     # -- execution ----------------------------------------------------------
     def execute(

@@ -52,8 +52,14 @@ class EngineConfig:
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
-        if self.prefill_batch_limit < 0:
-            raise ValueError("prefill_batch_limit must be >= 0")
+        if self.prefill_batch_limit < 1:
+            # 0 used to pass validation but silently starves every queued
+            # request: nothing pending can ever prefill, so the engine
+            # reports no progress forever. Reject it outright.
+            raise ValueError(
+                "prefill_batch_limit must be >= 1 "
+                "(0 would starve every queued request)"
+            )
 
 
 @dataclass(frozen=True)
@@ -97,11 +103,18 @@ class GpuEngine:
         loader: LoraLoader | None = None,
         tracer: "Tracer | None" = None,
         fast_path: bool | None = None,
+        role: str = "both",
     ):
         self.gpu_id = gpu_id
         self.backend = backend
         self.config = config or EngineConfig()
         self.loader = loader or LoraLoader()
+        if role not in ("both", "prefill", "decode"):
+            raise ValueError(f"role must be 'both', 'prefill' or 'decode', got {role!r}")
+        self.role = role
+        """Disaggregated-serving role: ``"prefill"`` engines hand finished
+        prefills off to the decode pool, ``"decode"`` engines only admit
+        imported KV. ``"both"`` (default) is the classic colocated mode."""
         self.tracer = tracer
         """Optional :class:`~repro.obs.tracer.Tracer` receiving PLACE /
         PREFILL / DECODE_STEP / FINISH / QUEUE(evicted) events."""
@@ -111,6 +124,11 @@ class GpuEngine:
         iteration order, maintained incrementally instead of re-sorted
         every step."""
         self._pending: list[_Slot] = []
+        self._num_importing = 0
+        """Pending slots holding imported KV (``needs_prefill`` False) that
+        wait only for their adapter load before joining the decode batch.
+        Zero outside disaggregated mode, so the hot loop's promotion check
+        is one falsy integer test."""
         self._admit_seq = 0
         self.fast_path = fastpath_enabled(fast_path)
         self._plan_cache = PlanCache() if self.fast_path else None
@@ -261,6 +279,8 @@ class GpuEngine:
             for i, s in enumerate(self._pending):
                 if s.request.request_id == request_id:
                     slot = self._pending.pop(i)
+                    if not slot.request.needs_prefill:
+                        self._num_importing -= 1
                     break
         if slot is None:
             raise KeyError(f"request {request_id} not on {self.gpu_id}")
@@ -286,11 +306,102 @@ class GpuEngine:
         self._working.clear()
         self._working_order.clear()
         self._pending.clear()
+        self._num_importing = 0
         displaced = []
         for slot in slots:
             slot.request.evict()
             displaced.append(slot.request)
         return displaced
+
+    # ------------------------------------------------------------------
+    # KV handoff (disaggregated prefill/decode serving)
+    # ------------------------------------------------------------------
+    def export_request(self, request_id: str, now: float) -> "tuple[Request, int]":
+        """Detach a prefilled request for handoff to a decode GPU.
+
+        The request must be in the working (decoding) set — i.e. its
+        prefill already ran here. Its KvCache pages are released locally
+        (the bytes travel over the interconnect; the caller models that
+        cost) and the adapter pin is dropped. Returns the request plus the
+        token count of the exported KV history.
+        """
+        slot = self._working.pop(request_id, None)
+        if slot is None:
+            raise KeyError(f"request {request_id} not working on {self.gpu_id}")
+        self._working_order.remove(slot)
+        self._steady_plan = None
+        kv_tokens = self.backend.kv_export(request_id)
+        self.loader.release(slot.request.lora_id)
+        request = slot.request
+        request.suspend_for_transfer()
+        request.kv_len = kv_tokens
+        return request, kv_tokens
+
+    def can_accept_import(self, request: Request, kv_tokens: int) -> bool:
+        """Admission test for a request arriving with its KV history.
+
+        Mirrors :meth:`can_accept` but sizes the KvCache check by the
+        imported history instead of a prefill over the prompt."""
+        if not self.alive:
+            return False
+        if self.working_set_size >= self.config.max_batch_size:
+            return False
+        if self.config.same_lora_only:
+            active = self.active_lora_ids()
+            if active and request.lora_id not in active:
+                return False
+        if not self.loader.can_admit_adapter(
+            request.lora_id, self._default_lora_bytes()
+        ):
+            return False
+        return self.backend.kv_can_import(
+            kv_tokens, self.config.admission_headroom_tokens
+        )
+
+    def import_request(self, request: Request, kv_tokens: int, now: float) -> None:
+        """Admit a request whose KV pages just arrived over the interconnect.
+
+        No prefill is needed: the pages are materialized immediately and
+        the request joins the decode batch as soon as its adapter is
+        resident here (the load starts now and may overlap other work).
+        """
+        if self.has_request(request.request_id):
+            raise ValueError(f"request {request.request_id} already on {self.gpu_id}")
+        if not self.can_accept_import(request, kv_tokens):
+            raise RuntimeError(
+                f"{self.gpu_id} cannot import {request.request_id} "
+                f"(working set {self.working_set_size}, "
+                f"free kv tokens {self.kv_free_tokens()})"
+            )
+        self.loader.request_load(request.lora_id, self._default_lora_bytes(), now)
+        self.loader.acquire(request.lora_id, now)
+        self.backend.kv_import(request.request_id, kv_tokens)
+        request.kv_len = kv_tokens
+        request.needs_prefill = False
+        request.mark_running(self.gpu_id, now)
+        self._pending.append(_Slot(request=request, admit_seq=self._admit_seq))
+        self._admit_seq += 1
+        self._num_importing += 1
+        self._steady_plan = None
+        if self.tracer is not None:
+            self.tracer.emit(
+                now, EventKind.PLACE, request.request_id, self.gpu_id,
+                lora=request.lora_id, imported_kv=kv_tokens,
+            )
+
+    def _promote_imports(self, now: float) -> None:
+        """Move imported slots whose adapter is resident into the decode
+        batch; they contribute a decode token in this very invocation."""
+        remaining: list[_Slot] = []
+        for slot in self._pending:
+            req = slot.request
+            if not req.needs_prefill and self.loader.is_ready(req.lora_id, now):
+                self._working[req.request_id] = slot
+                self._order_insert(slot)
+                self._num_importing -= 1
+            else:
+                remaining.append(slot)
+        self._pending = remaining
 
     # ------------------------------------------------------------------
     # Execution
@@ -306,6 +417,8 @@ class GpuEngine:
         ):
             return self._step_steady(now)
         self.loader.advance(now)
+        if self._num_importing:
+            self._promote_imports(now)
         self.slow_steps += 1
         # Reserve one new KvCache slot per decode request FIRST (evicting
         # newest requests on pressure), so prefill admission below can only
@@ -635,14 +748,15 @@ class GpuEngine:
     def _select_prefills(self, now: float) -> list[_Slot]:
         """Pick pending requests ready to prefill, FIFO, up to the limit."""
         limit = self.config.prefill_batch_limit
-        if limit == 0 or not self._pending:
+        if not self._pending:
             return []
         selected: list[_Slot] = []
         remaining: list[_Slot] = []
         for slot in self._pending:
             req = slot.request
             ready = (
-                len(selected) < limit
+                req.needs_prefill  # import slots wait for _promote_imports
+                and len(selected) < limit
                 and self.loader.is_ready(req.lora_id, now)
                 and self.backend.kv_can_admit(req.effective_prompt_len)
                 and self._lora_compatible(req)

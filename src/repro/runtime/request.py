@@ -149,6 +149,35 @@ class Request:
         self.needs_prefill = True
         self.num_migrations += 1
 
+    def suspend_for_transfer(self) -> None:
+        """Leave the prefill GPU with KV pages in flight (disagg handoff).
+
+        Unlike :meth:`evict` the KV history travels with the request: the
+        decode GPU imports the pages instead of re-prefilling, so
+        ``kv_len``/``needs_prefill`` are preserved and no migration is
+        counted. ``kv_len`` records how many tokens the copy carries.
+        """
+        if self.state is not RequestState.RUNNING:
+            raise RuntimeError(
+                f"cannot suspend {self.request_id} in state {self.state}"
+            )
+        self.state = RequestState.QUEUED
+        self.gpu_id = None
+
+    def drop_kv(self) -> None:
+        """Lose the in-flight KV copy (transfer failure): back to re-prefill.
+
+        Counts as a migration since the request pays the §5.3 evict +
+        re-prefill price over prompt + generated prefix.
+        """
+        if self.state is not RequestState.QUEUED:
+            raise RuntimeError(
+                f"cannot drop KV of {self.request_id} in state {self.state}"
+            )
+        self.kv_len = 0
+        self.needs_prefill = True
+        self.num_migrations += 1
+
     # -- latency metrics ------------------------------------------------
     def normalized_latency(self) -> float:
         """End-to-end latency per generated token (the serving SLO metric)."""

@@ -50,6 +50,27 @@ class TestMain:
         assert "8 requests" in out
 
 
+class TestDisaggSubcommand:
+    def test_bad_interconnect_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["disagg", "--interconnect", "pigeon"])
+
+    def test_ablation_table(self, tmp_path, capsys):
+        assert main(["disagg", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "colocated" in out and "disagg" in out
+        assert "p99_itl_ms" in out and "KV handoffs" in out
+        assert (tmp_path / "disagg.txt").exists()
+
+    def test_trace_scenario(self, tmp_path, capsys):
+        trace_path = tmp_path / "disagg.jsonl"
+        assert main(["trace", "disagg", "--out", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario=disagg" in out
+        assert "transfer" in out  # the new latency tile
+        assert "KV_TRANSFER_START" in trace_path.read_text()
+
+
 class TestAdaptersSubcommand:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -1,8 +1,10 @@
 """Tests for the NvSwitch all-reduce cost model (tensor parallelism)."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
-from repro.hw.interconnect import NVLINK_A100, InterconnectSpec
+from repro.hw.interconnect import NVLINK_A100, PCIE_GEN4_P2P, InterconnectSpec
 
 
 class TestAllreduce:
@@ -38,3 +40,59 @@ class TestSpecValidation:
     def test_invalid_bandwidth(self):
         with pytest.raises(ValueError):
             InterconnectSpec(name="bad", bus_bandwidth=0)
+
+
+class TestTransferTime:
+    def test_zero_bytes_free(self):
+        assert NVLINK_A100.transfer_time(0) == 0.0
+
+    def test_latency_dominates_small_messages(self):
+        # One byte is pure wire latency to ~9 significant digits.
+        t = NVLINK_A100.transfer_time(1)
+        assert t == pytest.approx(NVLINK_A100.latency, rel=1e-6)
+        assert t > NVLINK_A100.latency
+
+    def test_bandwidth_dominates_large_messages(self):
+        nbytes = 100e9
+        t = NVLINK_A100.transfer_time(nbytes)
+        assert t == pytest.approx(nbytes / NVLINK_A100.bus_bandwidth, rel=1e-3)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NVLINK_A100.transfer_time(-1)
+
+    def test_pcie_slower_than_nvlink(self):
+        assert PCIE_GEN4_P2P.transfer_time(1e9) > NVLINK_A100.transfer_time(1e9)
+
+
+nbytes_st = st.floats(min_value=0, max_value=1e12, allow_nan=False)
+
+
+class TestTransferProperties:
+    @given(a=nbytes_st, b=nbytes_st)
+    def test_monotone_in_nbytes(self, a, b):
+        lo, hi = sorted((a, b))
+        assert NVLINK_A100.transfer_time(lo) <= NVLINK_A100.transfer_time(hi)
+
+    @given(nbytes=nbytes_st)
+    def test_positive_payload_costs_at_least_latency(self, nbytes):
+        t = NVLINK_A100.transfer_time(nbytes)
+        if nbytes == 0:
+            assert t == 0.0
+        else:
+            assert t >= NVLINK_A100.latency
+
+    @given(nbytes=st.floats(min_value=1, max_value=1e12, allow_nan=False))
+    def test_nvlink_never_slower_than_pcie(self, nbytes):
+        # NVLINK_A100 has both higher bandwidth and lower latency, so the
+        # ordering must hold for every payload size.
+        assert NVLINK_A100.transfer_time(nbytes) <= PCIE_GEN4_P2P.transfer_time(nbytes)
+
+    @given(nbytes=nbytes_st)
+    def test_collectives_free_on_one_gpu_but_transfer_is_not(self, nbytes):
+        # world_size==1 makes the collectives free; a point-to-point
+        # transfer has no such degenerate case — it always crosses a link.
+        assert NVLINK_A100.allreduce_time(nbytes, 1) == 0.0
+        assert NVLINK_A100.allgather_time(nbytes, 1) == 0.0
+        if nbytes > 0:
+            assert NVLINK_A100.transfer_time(nbytes) > 0.0

@@ -111,6 +111,29 @@ class TestPageAllocator:
         assert a.used_pages == sum(pages_needed(s, 16) for s in lengths)
 
 
+class TestExportImport:
+    def test_roundtrip_frees_then_reallocates(self):
+        a = PageAllocator(total_pages=8, page_size=16)
+        a.allocate("r1", 40)  # 3 pages
+        tokens = a.export_sequence("r1")
+        assert tokens == 40
+        assert "r1" not in a
+        assert a.free_pages == 8
+        pages = a.import_sequence("r1", tokens)
+        assert len(pages) == 3
+        assert a.seq_len("r1") == 40
+
+    def test_export_unknown_sequence(self):
+        a = PageAllocator(total_pages=8, page_size=16)
+        with pytest.raises(KeyError):
+            a.export_sequence("ghost")
+
+    def test_import_respects_capacity(self):
+        a = PageAllocator(total_pages=2, page_size=16)
+        with pytest.raises(MemoryError):
+            a.import_sequence("big", 100)
+
+
 class AllocatorMachine(RuleBasedStateMachine):
     """Stateful property test: the allocator never leaks or double-books."""
 

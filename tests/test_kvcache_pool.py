@@ -52,6 +52,23 @@ class TestKvPool:
         with pytest.raises(ValueError, match="no"):
             KvPool(capacity_bytes=10, page_size=4, bytes_per_token=16)
 
+    def test_export_import_roundtrip(self):
+        src = self.make()
+        dst = self.make()
+        src.allocate("r", 9)
+        tokens = src.export_sequence("r")
+        assert tokens == 9
+        assert "r" not in src
+        dst.import_sequence("r", tokens)
+        assert dst.seq_len("r") == 9
+
+    def test_bytes_of(self):
+        pool = self.make(bpt=16)
+        assert pool.bytes_of(0) == 0.0
+        assert pool.bytes_of(9) == 9 * 16.0
+        with pytest.raises(ValueError):
+            pool.bytes_of(-1)
+
 
 class TestPagedKvData:
     def make(self):

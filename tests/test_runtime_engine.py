@@ -191,6 +191,66 @@ class TestEviction:
             make_engine().cancel("ghost")
 
 
+class TestConfigValidation:
+    def test_prefill_batch_limit_zero_rejected(self):
+        # 0 used to slip through a `< 0` check and starve every queued
+        # request forever.
+        with pytest.raises(ValueError, match="prefill_batch_limit"):
+            EngineConfig(prefill_batch_limit=0)
+
+    def test_prefill_batch_limit_negative_rejected(self):
+        with pytest.raises(ValueError, match="prefill_batch_limit"):
+            EngineConfig(prefill_batch_limit=-1)
+
+
+class TestKvHandoff:
+    def test_export_then_import_resumes_without_reprefill(self):
+        src = make_engine()
+        dst = make_engine()
+        req = make_request("r0", prompt=16, response=4)
+        src.add_request(req, 0.0)
+        ready = src.loader.ready_time("m0")
+        report = src.step(ready)
+        assert report.num_prefill == 1 and req.num_generated == 1
+
+        request, kv_tokens = src.export_request("r0", report.end)
+        assert request is req
+        assert kv_tokens == req.kv_len and kv_tokens >= 16
+        assert src.is_idle
+        assert not req.needs_prefill
+
+        assert dst.can_accept_import(req, kv_tokens)
+        dst.import_request(req, kv_tokens, report.end)
+        assert req.state is RequestState.RUNNING
+        reports, _ = run_until_idle(dst, now=report.end)
+        assert req.state is RequestState.FINISHED
+        assert req.num_generated == 4
+        # The whole point of the handoff: no prefill on the decode side.
+        assert all(r.num_prefill == 0 for r in reports)
+
+    def test_export_requires_active_request(self):
+        engine = make_engine()
+        req = make_request("r0")
+        engine.add_request(req, 0.0)
+        # Still pending (prefill hasn't run): nothing to export.
+        with pytest.raises(KeyError):
+            engine.export_request("r0", 0.0)
+        with pytest.raises(KeyError):
+            engine.export_request("ghost", 0.0)
+
+    def test_import_rejected_when_batch_full(self):
+        src = make_engine()
+        dst = make_engine(max_batch=1)
+        dst.add_request(make_request("occupant"), 0.0)
+        req = make_request("r0", prompt=16, response=4)
+        src.add_request(req, 0.0)
+        report = src.step(src.loader.ready_time("m0"))
+        _, kv_tokens = src.export_request("r0", report.end)
+        assert not dst.can_accept_import(req, kv_tokens)
+        with pytest.raises(RuntimeError):
+            dst.import_request(req, kv_tokens, report.end)
+
+
 class TestStepReport:
     def test_report_fields(self):
         engine = make_engine()

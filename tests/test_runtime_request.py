@@ -67,6 +67,45 @@ class TestEviction:
             make_request().evict()
 
 
+class TestTransferHandoff:
+    def test_suspend_preserves_kv_and_progress(self):
+        r = make_request(prompt_len=10)
+        r.mark_running("gpu0")
+        r.needs_prefill = False  # as the engine's prefill step leaves it
+        r.record_token(1, now=1.0)
+        r.kv_len = 11
+        r.suspend_for_transfer()
+        assert r.state is RequestState.QUEUED
+        assert r.gpu_id is None
+        assert r.kv_len == 11
+        assert not r.needs_prefill
+        # A handoff is not a migration: no KV is recomputed.
+        assert r.num_migrations == 0
+
+    def test_suspend_requires_running(self):
+        with pytest.raises(RuntimeError):
+            make_request().suspend_for_transfer()
+
+    def test_drop_kv_falls_back_to_reprefill(self):
+        r = make_request(prompt_len=10)
+        r.mark_running("gpu0")
+        r.needs_prefill = False
+        r.record_token(1, now=1.0)
+        r.kv_len = 11
+        r.suspend_for_transfer()
+        r.drop_kv()
+        assert r.kv_len == 0
+        assert r.needs_prefill
+        assert r.num_migrations == 1
+        assert r.effective_prompt_len == 11
+
+    def test_drop_kv_requires_queued(self):
+        r = make_request()
+        r.mark_running("gpu0")
+        with pytest.raises(RuntimeError):
+            r.drop_kv()
+
+
 class TestMetrics:
     def test_normalized_latency(self):
         r = make_request(arrival=10.0, response_len=2)

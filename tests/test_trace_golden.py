@@ -1,4 +1,4 @@
-"""Golden-trace harness: the three seeded scenarios replay byte-for-byte.
+"""Golden-trace harness: the seeded scenarios replay byte-for-byte.
 
 Each scenario in :mod:`repro.obs.scenarios` is run at seed 0 and its
 canonical JSONL trace compared — as *bytes* — against a checked-in fixture
@@ -25,7 +25,7 @@ from repro.obs import compute_breakdowns, run_scenario
 from repro.obs.tracer import EventKind, TERMINAL_KINDS
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
-SCENARIO_NAMES = ("single_gpu", "cluster_migration", "faults")
+SCENARIO_NAMES = ("single_gpu", "cluster_migration", "faults", "disagg")
 REGOLD = os.environ.get("REPRO_REGOLD", "") not in ("", "0")
 
 # Every scenario must exercise the event kinds it was tuned to cover —
@@ -44,6 +44,11 @@ REQUIRED_KINDS = {
         EventKind.SUBMIT, EventKind.QUEUE, EventKind.PLACE,
         EventKind.ADAPTER_LOAD, EventKind.PREFILL, EventKind.DECODE_STEP,
         EventKind.MIGRATE, EventKind.FAULT, EventKind.FINISH,
+    },
+    "disagg": {
+        EventKind.SUBMIT, EventKind.PLACE, EventKind.PREFILL,
+        EventKind.KV_TRANSFER_START, EventKind.KV_TRANSFER_DONE,
+        EventKind.DECODE_STEP, EventKind.FINISH,
     },
 }
 

@@ -1,8 +1,9 @@
 """Property tests: trace invariants hold on *any* seeded workload.
 
-The golden harness pins three specific runs; these tests let hypothesis
-pick the workload (seed, rate, batch size, fault plan) and check the
-structural invariants every trace must satisfy:
+The golden harness pins a few specific runs; these tests let hypothesis
+pick the workload (seed, rate, batch size, fault plan, colocated vs
+disaggregated pool) and check the structural invariants every trace must
+satisfy:
 
 * per-request event times are monotone in ``(time, seq)`` order and the
   lifecycle is ordered: SUBMIT <= PLACE <= first decode <= terminal;
@@ -17,6 +18,7 @@ from __future__ import annotations
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.cluster.disagg import DisaggConfig, DisaggSimulator
 from repro.cluster.faults import FaultInjector, FaultKind, FaultSpec
 from repro.cluster.scheduler import SchedulerConfig
 from repro.cluster.simulator import ClusterSimulator
@@ -36,7 +38,17 @@ SETTINGS = settings(
 )
 
 
-def _run(seed: int, rate: float, max_batch_size: int, crash: bool) -> Tracer:
+def _engine(i: int, max_batch_size: int) -> GpuEngine:
+    return GpuEngine(
+        f"gpu{i:02d}",
+        SimulatedBackend(LLAMA2_7B, step_overhead=0.05),
+        EngineConfig(max_batch_size=max_batch_size),
+    )
+
+
+def _run(
+    seed: int, rate: float, max_batch_size: int, crash: bool, disagg: bool
+) -> Tracer:
     duration = 2.0
     trace = generate_trace(
         int(rate * duration) + 8, "skewed", seed=seed,
@@ -45,23 +57,31 @@ def _run(seed: int, rate: float, max_batch_size: int, crash: bool) -> Tracer:
     )
     injector = None
     if crash:
-        injector = FaultInjector(
-            [FaultSpec(kind=FaultKind.GPU_CRASH, time=0.8)], seed=seed
-        )
-    tracer = Tracer()
-    sim = ClusterSimulator(
-        [
-            GpuEngine(
-                f"gpu{i:02d}",
-                SimulatedBackend(LLAMA2_7B, step_overhead=0.05),
-                EngineConfig(max_batch_size=max_batch_size),
+        specs = [FaultSpec(kind=FaultKind.GPU_CRASH, time=0.8)]
+        if disagg:
+            specs.append(
+                FaultSpec(kind=FaultKind.KV_TRANSFER_FAIL, time=0.4)
             )
-            for i in range(2)
-        ],
-        SchedulerConfig(migration_interval=0.5, light_load_fraction=0.5),
-        fault_injector=injector,
-        tracer=tracer,
-    )
+        injector = FaultInjector(specs, seed=seed)
+    tracer = Tracer()
+    if disagg:
+        # 2 prefill + 2 decode: a crash can kill either role's GPU
+        # without emptying its pool, so the handoff machinery keeps
+        # running (and re-routing) after the fault.
+        sim = DisaggSimulator(
+            [_engine(i, max_batch_size) for i in range(2)],
+            [_engine(i, max_batch_size) for i in range(2, 4)],
+            config=DisaggConfig(decode_queue_limit=2),
+            fault_injector=injector,
+            tracer=tracer,
+        )
+    else:
+        sim = ClusterSimulator(
+            [_engine(i, max_batch_size) for i in range(2)],
+            SchedulerConfig(migration_interval=0.5, light_load_fraction=0.5),
+            fault_injector=injector,
+            tracer=tracer,
+        )
     sim.run(trace)
     return tracer
 
@@ -71,6 +91,7 @@ workloads = st.tuples(
     st.sampled_from([4.0, 8.0, 16.0]),            # rate (req/s)
     st.integers(min_value=2, max_value=6),        # max batch size
     st.booleans(),                                # crash a GPU mid-run?
+    st.booleans(),                                # disaggregated pool?
 )
 
 
