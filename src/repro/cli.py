@@ -65,6 +65,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_faults_parser(sub)
     _add_trace_parser(sub)
     _add_perf_parser(sub)
+    _add_serve_parser(sub)
+    _add_loadgen_parser(sub)
     return parser
 
 
@@ -133,7 +135,7 @@ def _add_trace_parser(sub) -> None:
     )
     trace.add_argument(
         "scenario", nargs="?", default="single_gpu",
-        choices=["single_gpu", "cluster_migration", "faults", "disagg"],
+        choices=["single_gpu", "cluster_migration", "faults", "disagg", "serve"],
         help="which seeded scenario to run (default: single_gpu)",
     )
     trace.add_argument("--seed", type=int, default=0,
@@ -160,6 +162,108 @@ def _add_perf_parser(sub) -> None:
     perf.add_argument("--update", action="store_true",
                       help="rewrite benchmarks/BENCH_perf.json with the results")
     perf.add_argument("--out", type=pathlib.Path, default=None)
+
+
+def _add_serve_parser(sub) -> None:
+    """The asyncio serving frontend (docs/serving.md)."""
+    serve = sub.add_parser(
+        "serve",
+        help="asyncio token-streaming server with per-tenant admission control",
+    )
+    serve.add_argument("--backend", choices=["sim", "functional"], default="sim",
+                       help="time-warped cluster simulator, or real tokens "
+                            "from the functional NumPy engine")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7012,
+                       help="listening port (0 binds an ephemeral one)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--gpus", type=int, default=2,
+                       help="simulated GPU pool size (sim backend)")
+    serve.add_argument("--warp", type=float, default=None,
+                       help="virtual seconds per wall second for the sim "
+                            "backend (default: unthrottled)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="stop after this many wall seconds "
+                            "(default: serve until interrupted)")
+
+
+def _add_loadgen_parser(sub) -> None:
+    """The async load generator (client side of docs/serving.md)."""
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive concurrent streaming clients against the serving frontend",
+    )
+    loadgen.add_argument("--host", default=None,
+                         help="target server; omitted = spin up an "
+                              "in-process server and load it")
+    loadgen.add_argument("--port", type=int, default=7012)
+    loadgen.add_argument("--backend", choices=["sim", "functional"],
+                         default="sim", help="in-process backend")
+    loadgen.add_argument("--clients", type=int, default=100)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--cancel-fraction", type=float, default=0.1,
+                         help="clients that cancel mid-stream")
+    loadgen.add_argument("--abort-fraction", type=float, default=0.05,
+                         help="clients that hard-disconnect mid-stream")
+    loadgen.add_argument("--slow-fraction", type=float, default=0.05,
+                         help="slow readers (sleep between token reads)")
+    loadgen.add_argument("--warp", type=float, default=None,
+                         help="sim-backend time warp (in-process runs)")
+    loadgen.add_argument("--metrics", action="store_true",
+                         help="print the Prometheus snapshot after the run")
+
+
+def _run_serve_cmd(args) -> int:
+    import asyncio
+
+    from repro.serve.harness import build_stack, serve_until
+
+    stack = build_stack(
+        args.backend, seed=args.seed, warp=args.warp,
+        num_gpus=args.gpus, host=args.host, port=args.port,
+    )
+    print(f"serving backend={args.backend} on {args.host}:{args.port} "
+          f"(warp={args.warp if args.warp is not None else 'unthrottled'})")
+    try:
+        asyncio.run(serve_until(stack, duration=args.duration))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_loadgen(args) -> int:
+    import asyncio
+
+    from repro.serve.client import LoadGenerator, LoadSpec, summarize
+    from repro.serve.harness import build_stack, run_load
+
+    spec = LoadSpec(
+        num_clients=args.clients,
+        cancel_fraction=args.cancel_fraction,
+        abort_fraction=args.abort_fraction,
+        slow_fraction=args.slow_fraction,
+        seed=args.seed,
+    )
+    if args.host is not None:
+        async def _against_remote():
+            return await LoadGenerator(args.host, args.port, spec).run()
+
+        results = asyncio.run(_against_remote())
+        summary, stack = summarize(results), None
+    else:
+        stack = build_stack(args.backend, seed=args.seed, warp=args.warp)
+        summary, _ = asyncio.run(run_load(stack, spec))
+    print(f"# loadgen backend={args.backend if args.host is None else args.host} "
+          f"clients={args.clients} seed={args.seed}")
+    for key, value in summary.items():
+        print(f"{key}: {value}")
+    if args.metrics:
+        if stack is None:
+            print("(metrics are only local to in-process runs)")
+        else:
+            print()
+            print(stack.metrics.registry.render_prometheus(), end="")
+    return 0
 
 
 def _run_perf(args) -> int:
@@ -363,6 +467,10 @@ def main(argv: "list[str] | None" = None) -> int:
         return _run_trace(args)
     if args.command == "perf":
         return _run_perf(args)
+    if args.command == "serve":
+        return _run_serve_cmd(args)
+    if args.command == "loadgen":
+        return _run_loadgen(args)
     _run_one(args.command, args.out, getattr(args, "requests", None))
     return 0
 

@@ -41,6 +41,10 @@ class RequestHandle:
     max_retries: int = 0
     retry_backoff: float = 1.0
     """Base backoff: the k-th retry waits retry_backoff * 2**k seconds."""
+    on_token: "TokenCallback | None" = None
+    """Per-request streaming callback — the serving frontend's token fan-out
+    (one asyncio queue per open stream) without paying a global-callback
+    dispatch per token per connection."""
     _deadline_event: "EventHandle | None" = field(default=None, repr=False)
 
     @property
@@ -77,6 +81,12 @@ class Frontend:
     def __init__(self, simulator: ClusterSimulator):
         self.simulator = simulator
         self._handles: dict[str, RequestHandle] = {}
+        self._active: dict[str, RequestHandle] = {}
+        """Handles that may still stream tokens. Terminal handles are
+        pruned from here (never from ``_handles``) so the per-step
+        streaming sweep scales with open streams, not with every request
+        ever submitted — the serving frontend holds hundreds of
+        connections over long runs."""
         self._callbacks: list[TokenCallback] = []
         self._ids = itertools.count()
         self._install_streaming_hook()
@@ -97,6 +107,7 @@ class Frontend:
         deadline: "float | None" = None,
         max_retries: int = 0,
         retry_backoff: float = 1.0,
+        on_token: "TokenCallback | None" = None,
     ) -> RequestHandle:
         """Submit a request arriving at ``at_time`` (simulated clock).
 
@@ -128,16 +139,23 @@ class Frontend:
             deadline=deadline,
             max_retries=max_retries,
             retry_backoff=retry_backoff,
+            on_token=on_token,
         )
         self._handles[rid] = handle
+        self._active[rid] = handle
         self.simulator._requests[rid] = request
         self.simulator.schedule_arrival(request)
         if deadline is not None:
             self._arm_deadline(handle, at_time)
         return handle
 
-    def cancel(self, request_id: str) -> None:
-        """User disconnection: drop the request wherever it currently is."""
+    def cancel(self, request_id: str, reason: str = "user") -> None:
+        """User disconnection: drop the request wherever it currently is.
+
+        ``reason`` lands on the CANCEL trace event — the serving frontend
+        passes ``"disconnect"`` so a dropped connection is attributable in
+        the trace all the way down at the engine.
+        """
         handle = self._handles.get(request_id)
         if handle is None:
             raise KeyError(f"unknown request {request_id!r}")
@@ -145,7 +163,7 @@ class Frontend:
             return
         if handle._deadline_event is not None:
             handle._deadline_event.cancel()
-        self.simulator.cancel(handle.request, reason="user")
+        self.simulator.cancel(handle.request, reason=reason)
 
     # ------------------------------------------------------------------
     # Deadlines and bounded retry (docs/faults.md)
@@ -193,7 +211,8 @@ class Frontend:
                 inner(now)
                 # The report isn't returned; read streamed tokens off the
                 # request objects instead (cheap and exact).
-                for handle in self._handles.values():
+                done: "list[str] | None" = None
+                for handle in self._active.values():
                     req = handle.request
                     already = len(handle.streamed)
                     new = req.generated_tokens[already:]
@@ -202,7 +221,20 @@ class Frontend:
                         handle.streamed.append((tok, stamp if stamp is not None else now))
                         for cb in self._callbacks:
                             cb(req.request_id, tok, now)
+                        if handle.on_token is not None:
+                            handle.on_token(req.request_id, tok, now)
                         already += 1
+                    # Prune only after streaming: a request's last token
+                    # lands in the same step that finishes it. Retrying
+                    # requests return to QUEUED, not a terminal state, so
+                    # they stay active through their whole retry budget.
+                    if handle.is_done():
+                        if done is None:
+                            done = []
+                        done.append(req.request_id)
+                if done:
+                    for rid in done:
+                        del self._active[rid]
 
             return step
 

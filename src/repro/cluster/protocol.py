@@ -7,7 +7,14 @@ defines the typed messages of that protocol; :mod:`repro.cluster.runner`
 implements the mediating runner. Keeping the protocol explicit lets tests
 assert the wire-level guarantees the paper relies on: commands apply in
 order, every generated token is streamed exactly once, and a cancel
-acknowledges exactly one request.
+acknowledges exactly one request (tests/test_cluster_runner.py and
+tests/test_protocol_concurrency.py hold these lines).
+
+The client-facing serving frontend mirrors this protocol one layer up:
+:mod:`repro.serve.protocol` maps each wire frame onto a message here
+(GenerateOp -> :class:`AddRequest`, CancelOp -> :class:`CancelRequest`,
+token/end frames -> :class:`TokenChunk`/:class:`RequestFinished`), so the
+same exactly-once guarantees hold end to end.
 """
 
 from __future__ import annotations
@@ -99,6 +106,13 @@ class StepStats:
 
 
 Event = "TokenChunk | RequestFinished | RequestEvicted | CancelAck | StepStats"
+
+COMMAND_TYPES = (AddRequest, CancelRequest)
+"""Every scheduler -> runner message class, in protocol order."""
+
+EVENT_TYPES = (TokenChunk, RequestFinished, RequestEvicted, CancelAck, StepStats)
+"""Every runner -> scheduler message class; anything else on the wire is
+a protocol violation (the concurrency suite asserts the closed set)."""
 
 
 @dataclass

@@ -136,6 +136,11 @@ class ClusterSimulator:
         export/drain hook. ``None`` keeps the colocated hot loop at one
         falsy attribute test per step."""
 
+    @property
+    def now(self) -> float:
+        """The simulated clock — what the serving bridge warps to wall time."""
+        return self.loop.now
+
     # ------------------------------------------------------------------
     def run(self, trace: Trace, until: float | None = None) -> SimulationResult:
         requests = requests_from_trace(trace)

@@ -13,7 +13,13 @@ regimes:
   slowdown, PCIe stall) exercising the recovery machinery;
 * ``disagg`` — a role-split 2-prefill/2-decode pool with paged KV
   handoffs over NvLink, sized so backpressure forces some colocated
-  fallbacks (the docs/disagg.md path).
+  fallbacks (the docs/disagg.md path);
+* ``serve`` — the async serving frontend's admission + lifecycle layer
+  driven deterministically on the simulator's own event loop: client
+  connections open through the :class:`~repro.serve.gateway.ServeGateway`
+  (tight per-tenant limits so 429-style sheds fire), a seeded subset
+  disconnects mid-stream (the cancel-propagation path), and the trace
+  carries the CONNECT/DISCONNECT lifecycle (docs/serving.md).
 
 ``tests/test_trace_golden.py`` replays these against checked-in JSONL
 fixtures; ``repro trace`` runs them from the shell. Keep them small —
@@ -165,11 +171,70 @@ def run_disagg(seed: int = 0, fast_path: "bool | None" = None) -> ScenarioResult
     return ScenarioResult("disagg", tracer, result.requests, metrics=result.metrics)
 
 
+def run_serve(seed: int = 0, fast_path: "bool | None" = None) -> ScenarioResult:
+    """The serving frontend's deterministic half: connections arrive on
+    the simulator's event loop, pass per-tenant admission (rate + bounded
+    in-flight, tight enough that some shed), and a fixed subset of
+    clients disconnects mid-stream — CANCEL ``reason="disconnect"``
+    reaches the engine. No asyncio anywhere: the same gateway the TCP
+    server drives, clocked entirely by virtual time."""
+    from repro.cluster.frontend import Frontend
+    from repro.serve.gateway import ServeGateway
+    from repro.serve.limits import AdmissionController, TenantPolicy
+    from repro.serve.metrics import ServeMetrics
+
+    trace = _open_loop(seed, rate=10.0, duration=4.0)
+    tracer = Tracer()
+    sim = _cluster(tracer, fast_path=fast_path)
+    frontend = Frontend(sim)
+    gateway = ServeGateway(
+        frontend,
+        AdmissionController(
+            default_policy=TenantPolicy(rate=3.0, burst=2.0, max_inflight=5),
+            max_total_inflight=24,
+        ),
+        metrics=ServeMetrics(),
+        tracer=tracer,
+    )
+
+    def make_open(spec, index: int):
+        def action(now: float) -> None:
+            stream, _ = gateway.open(
+                tenant=spec.lora_id, lora_id=spec.lora_id,
+                prompt_len=spec.prompt_len, response_len=spec.response_len,
+                now=now, request_id=spec.request_id,
+            )
+            if stream is not None and index % 7 == 3:
+                # Every 7th admitted arrival slot walks away mid-stream.
+                sim.loop.schedule(
+                    now + 0.6,
+                    lambda t, rid=spec.request_id: gateway.client_close(rid, t),
+                )
+
+        return action
+
+    for i, spec in enumerate(trace):
+        sim.loop.schedule(spec.arrival_time, make_open(spec, i))
+
+    def poll_tick(now: float) -> None:
+        gateway.poll(now)
+        if sim.work_remaining() or gateway.open_streams():
+            sim.loop.schedule(now + 0.25, poll_tick)
+
+    sim.loop.schedule(0.25, poll_tick)
+    sim.loop.run()
+    gateway.poll(sim.now)
+    return ScenarioResult(
+        "serve", tracer, list(sim._requests.values()), metrics=sim.metrics
+    )
+
+
 SCENARIOS: "dict[str, Callable[..., ScenarioResult]]" = {
     "single_gpu": run_single_gpu,
     "cluster_migration": run_cluster_migration,
     "faults": run_faults,
     "disagg": run_disagg,
+    "serve": run_serve,
 }
 
 

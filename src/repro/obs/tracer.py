@@ -4,8 +4,9 @@ Every component of the serving stack emits typed, timestamped
 :class:`TraceEvent` records into one :class:`Tracer`: the cluster
 simulator stamps SUBMIT/SHED, the scheduler QUEUE/MIGRATE, the engine
 PLACE/PREFILL/DECODE_STEP/FINISH, the fault injector FAULT, the frontend
-CANCEL, the adapter store ADAPTER_LOAD, and the disaggregated serving
-layer KV_TRANSFER_START/KV_TRANSFER_DONE. Timestamps come from the
+CANCEL, the adapter store ADAPTER_LOAD, the disaggregated serving
+layer KV_TRANSFER_START/KV_TRANSFER_DONE, and the async serving frontend
+CONNECT/DISCONNECT (plus SHED for door rejections). Timestamps come from the
 simulated clock, so under a fixed seed a trace is *byte-identical* across
 runs — the property the golden-trace harness (tests/test_trace_golden.py)
 turns into a whole-stack regression fixture.
@@ -46,6 +47,13 @@ class EventKind(enum.Enum):
     KV_TRANSFER_DONE = "KV_TRANSFER_DONE"
     """Paged KV handoff landed; the request awaits decode admission
     (attrs: nbytes; gpu_id = source GPU the bytes came from)."""
+    CONNECT = "CONNECT"
+    """Serving frontend opened a client stream (attrs: conn, tenant;
+    request_id is None — the connection may be shed before any request
+    exists, so connection lifecycle never joins a request timeline)."""
+    DISCONNECT = "DISCONNECT"
+    """Serving frontend closed a client stream (attrs: conn, tenant,
+    cause = served | client | shed; request_id is None)."""
     FAULT = "FAULT"
     """Injected fault fired (attrs: fault, applied; request_id is None)."""
     CANCEL = "CANCEL"

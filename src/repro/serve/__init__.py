@@ -1,0 +1,68 @@
+"""Async serving frontend: an asyncio token-streaming server over the engine.
+
+The paper's deployment (§6, Figure 2) runs frontends as separate processes
+that accept client requests, forward them to the scheduler, and stream
+generated tokens back over websockets. This package is that layer for the
+reproduction: a real :mod:`asyncio` server speaking a newline-delimited
+JSON request/stream/cancel protocol (:mod:`repro.serve.protocol`, a wire
+mirror of :mod:`repro.cluster.protocol`), with per-tenant token-bucket
+rate limits and bounded admission before anything reaches the scheduler
+(:mod:`repro.serve.limits`), serving either backend:
+
+* the **time-warped cluster simulator** — the discrete-event clock is
+  bridged to asyncio so large traces replay at a configurable multiple of
+  wall speed (:class:`~repro.serve.bridge.SimulatorBridge`);
+* the **functional NumPy backend** — real token ids from the toy Llama
+  (:class:`~repro.serve.bridge.FunctionalBridge`).
+
+Client disconnects propagate all the way down to engine eviction through
+the same cancellation path the fault and migration layers hardened; the
+:mod:`repro.serve.client` load generator drives hundreds of concurrent
+streaming connections, cancellation storms and slow readers against it.
+See docs/serving.md.
+"""
+
+from repro.serve.bridge import FunctionalBridge, SimulatorBridge, StreamUpdate
+from repro.serve.client import ClientResult, LoadGenerator, LoadSpec, ServeClient
+from repro.serve.gateway import ServeGateway
+from repro.serve.limits import (
+    AdmissionController,
+    Decision,
+    TenantPolicy,
+    TokenBucket,
+)
+from repro.serve.metrics import ServeMetrics
+from repro.serve.protocol import (
+    CancelOp,
+    EndFrame,
+    ErrorFrame,
+    GenerateOp,
+    TokenFrame,
+    decode_frame,
+    encode_frame,
+)
+from repro.serve.server import ServeServer
+
+__all__ = [
+    "AdmissionController",
+    "CancelOp",
+    "ClientResult",
+    "Decision",
+    "EndFrame",
+    "ErrorFrame",
+    "FunctionalBridge",
+    "GenerateOp",
+    "LoadGenerator",
+    "LoadSpec",
+    "ServeClient",
+    "ServeGateway",
+    "ServeMetrics",
+    "ServeServer",
+    "SimulatorBridge",
+    "StreamUpdate",
+    "TenantPolicy",
+    "TokenBucket",
+    "TokenFrame",
+    "decode_frame",
+    "encode_frame",
+]

@@ -1,0 +1,170 @@
+"""Client <-> server wire protocol: the outer mirror of the inner protocol.
+
+The serving frontend speaks newline-delimited JSON frames over a byte
+stream (TCP here; the paper's deployment used websockets, which are the
+same shape: ordered framed messages both ways). Each frame type mirrors
+one leg of the scheduler<->runner protocol in
+:mod:`repro.cluster.protocol`:
+
+========================  =================================================
+wire frame                inner protocol message
+========================  =================================================
+:class:`GenerateOp`       :class:`~repro.cluster.protocol.AddRequest`
+:class:`CancelOp`         :class:`~repro.cluster.protocol.CancelRequest`
+:class:`TokenFrame`       :class:`~repro.cluster.protocol.TokenChunk`
+:class:`EndFrame`         :class:`~repro.cluster.protocol.RequestFinished`
+                          (or the cancel/shed terminal states)
+:class:`ErrorFrame`       admission rejection — no inner counterpart: a
+                          shed request never reaches the scheduler
+========================  =================================================
+
+Frames serialize via :func:`encode_frame` / :func:`decode_frame` with
+sorted keys and compact separators, so a captured session log is stable
+enough to diff. A closed connection with no :class:`CancelOp` means the
+client disconnected; the server treats that exactly like a cancel (the
+disconnect-to-eviction path the acceptance smoke asserts).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+_MAX_FRAME_BYTES = 1 << 20
+"""Upper bound on one encoded frame; a longer line is a protocol error."""
+
+
+# ---------------------------------------------------------------------------
+# Client -> server operations
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class GenerateOp:
+    """Open one generation stream (the RESTful POST of Figure 2)."""
+
+    op: str = "generate"
+    request_id: str = ""
+    tenant: str = ""
+    """Rate-limit principal; defaults to the LoRA model id when empty."""
+    lora_id: str = ""
+    prompt_len: int = 1
+    response_len: int = 1
+    prompt_tokens: "tuple[int, ...] | None" = None
+    """Real prompt ids (functional backend); None in simulation mode."""
+
+    def __post_init__(self) -> None:
+        if self.prompt_len < 1 or self.response_len < 1:
+            raise ValueError("prompt_len and response_len must be >= 1")
+        if not self.lora_id:
+            raise ValueError("lora_id must be set")
+
+    @property
+    def effective_tenant(self) -> str:
+        return self.tenant or self.lora_id
+
+
+@dataclass(frozen=True)
+class CancelOp:
+    """Cancel an in-flight stream by id (explicit client-side cancel)."""
+
+    op: str = "cancel"
+    request_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            raise ValueError("cancel requires a request_id")
+
+
+# ---------------------------------------------------------------------------
+# Server -> client stream frames
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AcceptedFrame:
+    """Admission succeeded; token frames for ``request_id`` follow."""
+
+    event: str = "accepted"
+    request_id: str = ""
+
+
+@dataclass(frozen=True)
+class TokenFrame:
+    """One generated token, streamed as soon as the engine produced it."""
+
+    event: str = "token"
+    request_id: str = ""
+    token: int = 0
+    index: int = 0
+    time: float = 0.0
+    """Backend clock (virtual seconds under the time-warped simulator)."""
+
+
+@dataclass(frozen=True)
+class EndFrame:
+    """Stream end. ``status`` is finished | cancelled | failed."""
+
+    event: str = "end"
+    request_id: str = ""
+    status: str = "finished"
+    num_tokens: int = 0
+
+
+@dataclass(frozen=True)
+class ErrorFrame:
+    """Request rejected before reaching the scheduler (429-style shed)."""
+
+    event: str = "error"
+    request_id: str = ""
+    code: int = 429
+    reason: str = ""
+
+
+_FRAME_TYPES = {
+    "generate": GenerateOp,
+    "cancel": CancelOp,
+    "accepted": AcceptedFrame,
+    "token": TokenFrame,
+    "end": EndFrame,
+    "error": ErrorFrame,
+}
+
+Frame = (
+    "GenerateOp | CancelOp | AcceptedFrame | TokenFrame | EndFrame | ErrorFrame"
+)
+
+
+def encode_frame(frame) -> bytes:
+    """One frame -> one canonical JSON line (newline-terminated bytes)."""
+    obj = {k: v for k, v in asdict(frame).items() if v is not None}
+    if "prompt_tokens" in obj:
+        obj["prompt_tokens"] = list(obj["prompt_tokens"])
+    return (
+        json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode()
+
+
+def decode_frame(line: "bytes | str"):
+    """One JSON line -> the typed frame it encodes.
+
+    Raises ``ValueError`` on malformed JSON, an unknown discriminator, or
+    a frame that fails its own validation — the server answers those with
+    an :class:`ErrorFrame` instead of dying.
+    """
+    if isinstance(line, bytes):
+        if len(line) > _MAX_FRAME_BYTES:
+            raise ValueError(f"frame exceeds {_MAX_FRAME_BYTES} bytes")
+        line = line.decode("utf-8", errors="strict")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed frame: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ValueError(f"frame must be a JSON object, got {type(obj).__name__}")
+    key = obj.get("op") or obj.get("event")
+    cls = _FRAME_TYPES.get(key)
+    if cls is None:
+        raise ValueError(f"unknown frame discriminator {key!r}")
+    if "prompt_tokens" in obj and obj["prompt_tokens"] is not None:
+        obj["prompt_tokens"] = tuple(int(t) for t in obj["prompt_tokens"])
+    try:
+        return cls(**obj)
+    except TypeError as exc:
+        raise ValueError(f"bad {key!r} frame: {exc}") from None

@@ -71,6 +71,45 @@ class TestDisaggSubcommand:
         assert "KV_TRANSFER_START" in trace_path.read_text()
 
 
+class TestServeSubcommands:
+    def test_bad_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "quantum"])
+
+    def test_serve_runs_for_duration(self, capsys):
+        assert main([
+            "serve", "--backend", "sim", "--port", "0", "--duration", "0.1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serving backend=sim" in out
+
+    def test_loadgen_in_process_sim(self, capsys):
+        assert main([
+            "loadgen", "--backend", "sim", "--clients", "8", "--seed", "0",
+            "--cancel-fraction", "0", "--abort-fraction", "0",
+            "--slow-fraction", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# loadgen backend=sim clients=8 seed=0" in out
+        assert "by_status: {'finished': 8}" in out
+
+    def test_loadgen_metrics_flag_prints_prometheus(self, capsys):
+        assert main([
+            "loadgen", "--backend", "functional", "--clients", "4",
+            "--metrics",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "repro_serve_requests_admitted_total" in out
+
+    def test_trace_serve_scenario(self, tmp_path, capsys):
+        trace_path = tmp_path / "serve.jsonl"
+        assert main(["trace", "serve", "--out", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario=serve" in out
+        text = trace_path.read_text()
+        assert "CONNECT" in text and "SHED" in text
+
+
 class TestAdaptersSubcommand:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,191 @@
+"""Wire guarantees of the scheduler<->runner protocol under concurrency.
+
+The serving frontend (docs/serving.md) leans on three properties of
+:mod:`repro.cluster.protocol` that hold per-request even when many
+requests interleave arbitrarily: every generated token is streamed
+exactly once, a cancel acknowledges exactly one request exactly once,
+and commands apply in the order they were posted. These tests drive a
+:class:`~repro.cluster.runner.GpuRunner` through seeded random
+interleavings of add/cancel posts and step boundaries and assert the
+guarantees over the full message log.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.protocol import (
+    AddRequest,
+    CancelAck,
+    CancelRequest,
+    COMMAND_TYPES,
+    EVENT_TYPES,
+    MessageLog,
+    RequestFinished,
+    StepStats,
+    TokenChunk,
+)
+from repro.cluster.runner import GpuRunner
+from repro.models.config import LLAMA2_7B
+from repro.runtime.backend import SimulatedBackend
+from repro.runtime.engine import EngineConfig, GpuEngine
+
+
+def make_runner(max_batch_size: int = 8) -> "tuple[GpuRunner, MessageLog]":
+    log = MessageLog()
+    engine = GpuEngine(
+        "gpu0",
+        SimulatedBackend(LLAMA2_7B),
+        EngineConfig(max_batch_size=max_batch_size),
+    )
+    return GpuRunner(engine, log=log), log
+
+
+def run_interleaved(seed: int, num_requests: int = 24):
+    """Post adds and cancels in a seeded random interleaving with steps.
+
+    Returns ``(runner, log, cancelled_ids)``. Roughly a third of the
+    requests get a cancel posted at a random later boundary — some while
+    queued, some mid-decode, some after they already finished (the ack
+    must still be exactly-once in every case the engine accepts).
+    """
+    rng = np.random.default_rng(seed)
+    runner, log = make_runner()
+    adds = [
+        AddRequest(
+            request_id=f"req-{i:03d}",
+            lora_id=f"lora-{int(rng.integers(4))}",
+            prompt_len=int(rng.integers(4, 40)),
+            response_len=int(rng.integers(2, 12)),
+        )
+        for i in range(num_requests)
+    ]
+    cancel_ids = {a.request_id for a in adds if rng.random() < 0.34}
+
+    def live_count() -> int:
+        """Requests that hold (or will hold) an engine slot — the gate a
+        real scheduler applies before posting an AddRequest."""
+        live = sum(
+            1 for r in runner._requests.values() if not r.state.is_terminal
+        )
+        return live + sum(1 for c in runner._inbox if isinstance(c, AddRequest))
+
+    pending_cancels = []
+    now = 0.0
+    i = 0
+    while i < len(adds) or pending_cancels or not runner.engine.is_idle:
+        # Post a random burst of adds at this boundary, capacity-gated.
+        burst = int(rng.integers(0, 4))
+        for _ in range(burst):
+            if i >= len(adds) or live_count() >= 8:
+                break
+            runner.post(adds[i])
+            if adds[i].request_id in cancel_ids:
+                # Cancel fires 1-4 boundaries later.
+                pending_cancels.append(
+                    [int(rng.integers(1, 5)), adds[i].request_id]
+                )
+            i += 1
+        for entry in list(pending_cancels):
+            entry[0] -= 1
+            if entry[0] <= 0:
+                rid = entry[1]
+                req = runner._requests.get(rid)
+                if req is not None and not req.state.is_terminal:
+                    runner.post(CancelRequest(request_id=rid))
+                pending_cancels.remove(entry)
+        end = runner.step(now)
+        now = end if end is not None else now + 0.01
+    return runner, log, cancel_ids
+
+
+SEEDS = (0, 1, 2, 3)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_every_token_streamed_exactly_once(seed):
+    """Concatenated TokenChunks reproduce each request's generated tokens
+    with no duplicates and no gaps, regardless of interleaving."""
+    runner, log, _ = run_interleaved(seed)
+    streamed: "dict[str, list[int]]" = {}
+    for event in log.events_of_type(TokenChunk):
+        streamed.setdefault(event.request_id, []).extend(event.tokens)
+    for rid, request in runner._requests.items():
+        assert streamed.get(rid, []) == list(request.generated_tokens), (
+            f"{rid}: streamed tokens diverge from the request's history"
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_token_chunk_times_monotonic_per_request(seed):
+    _, log, _ = run_interleaved(seed)
+    times: "dict[str, float]" = {}
+    for event in log.events_of_type(TokenChunk):
+        last = times.get(event.request_id)
+        assert last is None or event.time >= last, (
+            f"{event.request_id}: token chunk went backwards in time"
+        )
+        times[event.request_id] = event.time
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cancel_acks_exactly_one_request_exactly_once(seed):
+    """Every posted CancelRequest yields exactly one CancelAck for that
+    request id, and no ack appears without a cancel."""
+    _, log, _ = run_interleaved(seed)
+    posted = [c.request_id for c in log.commands if isinstance(c, CancelRequest)]
+    acked = [e.request_id for e in log.events_of_type(CancelAck)]
+    assert sorted(acked) == sorted(posted)
+    assert len(set(posted)) == len(posted), "duplicate cancel posted"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_no_tokens_after_finish_or_ack(seed):
+    """Terminal events really are terminal on the wire: once a request's
+    RequestFinished or CancelAck is emitted, no later TokenChunk names it."""
+    _, log, _ = run_interleaved(seed)
+    terminal_at: "dict[str, int]" = {}
+    for pos, event in enumerate(log.events):
+        if isinstance(event, (RequestFinished, CancelAck)):
+            terminal_at.setdefault(event.request_id, pos)
+    for pos, event in enumerate(log.events):
+        if isinstance(event, TokenChunk):
+            cut = terminal_at.get(event.request_id)
+            assert cut is None or pos < cut, (
+                f"{event.request_id}: token streamed after its terminal event"
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_command_order_preserved_and_types_closed(seed):
+    """The log records commands in post order (the runner applies the
+    inbox FIFO), and nothing outside the protocol's closed type sets ever
+    crosses the boundary."""
+    _, log, _ = run_interleaved(seed)
+    assert all(isinstance(c, COMMAND_TYPES) for c in log.commands)
+    assert all(isinstance(e, EVENT_TYPES) for e in log.events)
+    # Every request's add precedes its cancel in the command log.
+    first_add: "dict[str, int]" = {}
+    for pos, command in enumerate(log.commands):
+        if isinstance(command, AddRequest):
+            first_add.setdefault(command.request_id, pos)
+        else:
+            assert first_add.get(command.request_id, 1 << 30) < pos, (
+                f"cancel for {command.request_id} logged before its add"
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cancelled_requests_do_not_finish(seed):
+    runner, log, _ = run_interleaved(seed)
+    acked = {e.request_id for e in log.events_of_type(CancelAck)}
+    finished = {e.request_id for e in log.events_of_type(RequestFinished)}
+    assert not (acked & finished), "a request both finished and was cancelled"
+
+
+def test_step_stats_cover_every_productive_step():
+    runner, log, _ = run_interleaved(seed=0)
+    stats = log.events_of_type(StepStats)
+    assert stats, "no StepStats emitted"
+    assert all(s.gpu_id == "gpu0" and s.latency > 0 for s in stats)

@@ -1,0 +1,136 @@
+"""Unit tests for per-tenant admission control (repro.serve.limits)."""
+
+import pytest
+
+from repro.serve.limits import (
+    AdmissionController,
+    Decision,
+    TenantPolicy,
+    TokenBucket,
+)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_debits(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        assert bucket.peek(0.0) == 3.0
+        assert bucket.allow(0.0)
+        assert bucket.allow(0.0)
+        assert bucket.allow(0.0)
+        assert not bucket.allow(0.0)
+
+    def test_refills_at_rate_up_to_burst(self):
+        bucket = TokenBucket(rate=2.0, burst=4.0)
+        for _ in range(4):
+            assert bucket.allow(0.0)
+        assert not bucket.allow(0.0)
+        assert bucket.allow(0.5)  # 0.5 s * 2/s = 1 token back
+        assert not bucket.allow(0.5)
+        assert bucket.peek(100.0) == 4.0  # capped at burst
+
+    def test_rejection_does_not_debit(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.allow(0.0)
+        before = bucket.peek(0.25)
+        assert not bucket.allow(0.25)
+        assert bucket.peek(0.25) == before
+
+    def test_time_going_backwards_raises(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        bucket.peek(5.0)
+        with pytest.raises(ValueError):
+            bucket.peek(4.0)
+
+    @pytest.mark.parametrize("rate,burst", [(0.0, 1.0), (-1.0, 1.0), (1.0, 0.5)])
+    def test_invalid_parameters(self, rate, burst):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=rate, burst=burst)
+
+
+class TestTenantPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantPolicy(rate=0.0)
+        with pytest.raises(ValueError):
+            TenantPolicy(burst=0.0)
+        with pytest.raises(ValueError):
+            TenantPolicy(max_inflight=0)
+
+
+class TestAdmissionController:
+    def controller(self, **kwargs):
+        defaults = dict(
+            default_policy=TenantPolicy(rate=1.0, burst=2.0, max_inflight=3),
+        )
+        defaults.update(kwargs)
+        return AdmissionController(**defaults)
+
+    def test_admits_until_burst_then_rate_limits(self):
+        ctl = self.controller()
+        assert ctl.admit("a", 0.0) is Decision.ADMIT
+        assert ctl.admit("a", 0.0) is Decision.ADMIT
+        assert ctl.admit("a", 0.0) is Decision.RATE_LIMITED
+        # One token refills after a second — but in-flight is still 2 < 3.
+        assert ctl.admit("a", 1.0) is Decision.ADMIT
+
+    def test_bounded_inflight_sheds_queue_full(self):
+        ctl = self.controller(
+            default_policy=TenantPolicy(rate=100.0, burst=50.0, max_inflight=2),
+        )
+        assert ctl.admit("a", 0.0) is Decision.ADMIT
+        assert ctl.admit("a", 0.0) is Decision.ADMIT
+        assert ctl.admit("a", 0.0) is Decision.QUEUE_FULL
+        ctl.release("a")
+        assert ctl.admit("a", 0.0) is Decision.ADMIT
+
+    def test_queue_full_does_not_burn_rate_budget(self):
+        """Capacity sheds are checked before the bucket: a tenant at its
+        in-flight bound keeps its rate tokens for when the queue drains."""
+        ctl = self.controller(
+            default_policy=TenantPolicy(rate=1.0, burst=1.0, max_inflight=1),
+        )
+        assert ctl.admit("a", 0.0) is Decision.ADMIT  # burns the only token
+        assert ctl.admit("a", 2.0) is Decision.QUEUE_FULL  # bucket refilled, untouched
+        ctl.release("a")
+        assert ctl.admit("a", 2.0) is Decision.ADMIT  # the refilled token survived
+
+    def test_tenants_are_isolated(self):
+        ctl = self.controller()
+        assert ctl.admit("a", 0.0) is Decision.ADMIT
+        assert ctl.admit("a", 0.0) is Decision.ADMIT
+        assert ctl.admit("a", 0.0) is Decision.RATE_LIMITED
+        # Tenant b has its own bucket and queue.
+        assert ctl.admit("b", 0.0) is Decision.ADMIT
+        assert ctl.inflight("a") == 2
+        assert ctl.inflight("b") == 1
+
+    def test_per_tenant_policy_overrides_default(self):
+        ctl = self.controller(
+            tenant_policies={
+                "vip": TenantPolicy(rate=100.0, burst=50.0, max_inflight=50)
+            },
+        )
+        for _ in range(10):
+            assert ctl.admit("vip", 0.0) is Decision.ADMIT
+
+    def test_global_bound_sheds_overloaded(self):
+        ctl = self.controller(
+            default_policy=TenantPolicy(rate=100.0, burst=50.0, max_inflight=50),
+            max_total_inflight=3,
+        )
+        for tenant in ("a", "b", "c"):
+            assert ctl.admit(tenant, 0.0) is Decision.ADMIT
+        assert ctl.admit("d", 0.0) is Decision.OVERLOADED
+        ctl.release("b")
+        assert ctl.admit("d", 0.0) is Decision.ADMIT
+        assert ctl.total_inflight == 3
+
+    def test_unpaired_release_raises(self):
+        ctl = self.controller()
+        with pytest.raises(ValueError):
+            ctl.release("ghost")
+
+    def test_decision_admitted_property(self):
+        assert Decision.ADMIT.admitted
+        for d in (Decision.RATE_LIMITED, Decision.QUEUE_FULL, Decision.OVERLOADED):
+            assert not d.admitted

@@ -1,0 +1,97 @@
+"""Wire-format tests for the client<->server protocol (repro.serve.protocol)."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    AcceptedFrame,
+    CancelOp,
+    EndFrame,
+    ErrorFrame,
+    GenerateOp,
+    TokenFrame,
+    decode_frame,
+    encode_frame,
+)
+
+
+FRAMES = [
+    GenerateOp(request_id="r1", tenant="t", lora_id="m", prompt_len=8,
+               response_len=4),
+    GenerateOp(request_id="r2", lora_id="m", prompt_len=2, response_len=2,
+               prompt_tokens=(1, 2)),
+    CancelOp(request_id="r1"),
+    AcceptedFrame(request_id="r1"),
+    TokenFrame(request_id="r1", token=17, index=3, time=1.5),
+    EndFrame(request_id="r1", status="cancelled", num_tokens=3),
+    ErrorFrame(request_id="r1", code=429, reason="rate_limited"),
+]
+
+
+@pytest.mark.parametrize("frame", FRAMES, ids=lambda f: type(f).__name__)
+def test_round_trip(frame):
+    encoded = encode_frame(frame)
+    assert encoded.endswith(b"\n") and encoded.count(b"\n") == 1
+    assert decode_frame(encoded) == frame
+    assert decode_frame(encoded.decode()) == frame  # str path too
+
+
+def test_encoding_is_canonical():
+    """Sorted keys, compact separators — session logs diff cleanly."""
+    line = encode_frame(TokenFrame(request_id="r", token=1, index=0, time=0.5))
+    obj = json.loads(line)
+    assert list(obj) == sorted(obj)
+    assert b" " not in line.strip()
+
+
+def test_none_fields_are_dropped():
+    op = GenerateOp(request_id="r", lora_id="m", prompt_len=4, response_len=2)
+    assert "prompt_tokens" not in json.loads(encode_frame(op))
+
+
+def test_prompt_tokens_decode_as_tuple():
+    op = decode_frame(
+        b'{"lora_id":"m","op":"generate","prompt_len":2,"prompt_tokens":[5,7],'
+        b'"request_id":"r","response_len":3,"tenant":""}'
+    )
+    assert op.prompt_tokens == (5, 7)
+
+
+def test_effective_tenant_defaults_to_lora():
+    op = GenerateOp(request_id="r", lora_id="m", prompt_len=1, response_len=1)
+    assert op.effective_tenant == "m"
+    named = GenerateOp(request_id="r", tenant="t", lora_id="m",
+                       prompt_len=1, response_len=1)
+    assert named.effective_tenant == "t"
+
+
+@pytest.mark.parametrize("line", [
+    b"not json\n",
+    b'["a","list"]\n',
+    b'{"op":"selfdestruct"}\n',
+    b'{"event":"nope"}\n',
+    b'{"op":"generate","lora_id":"m","prompt_len":0,"response_len":1}\n',
+    b'{"op":"generate","prompt_len":1,"response_len":1}\n',  # missing lora
+    b'{"op":"cancel"}\n',  # missing request_id
+    b'{"op":"generate","lora_id":"m","prompt_len":1,"response_len":1,'
+    b'"surprise":true}\n',  # unknown field
+])
+def test_malformed_frames_raise_value_error(line):
+    with pytest.raises(ValueError):
+        decode_frame(line)
+
+
+def test_oversized_frame_rejected():
+    line = b'{"op":"cancel","request_id":"' + b"x" * (1 << 20) + b'"}\n'
+    with pytest.raises(ValueError, match="exceeds"):
+        decode_frame(line)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        GenerateOp(request_id="r", lora_id="m", prompt_len=0, response_len=1)
+    with pytest.raises(ValueError):
+        GenerateOp(request_id="r", lora_id="", prompt_len=1, response_len=1)
+    with pytest.raises(ValueError):
+        CancelOp(request_id="")

@@ -25,7 +25,7 @@ from repro.obs import compute_breakdowns, run_scenario
 from repro.obs.tracer import EventKind, TERMINAL_KINDS
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
-SCENARIO_NAMES = ("single_gpu", "cluster_migration", "faults", "disagg")
+SCENARIO_NAMES = ("single_gpu", "cluster_migration", "faults", "disagg", "serve")
 REGOLD = os.environ.get("REPRO_REGOLD", "") not in ("", "0")
 
 # Every scenario must exercise the event kinds it was tuned to cover —
@@ -49,6 +49,11 @@ REQUIRED_KINDS = {
         EventKind.SUBMIT, EventKind.PLACE, EventKind.PREFILL,
         EventKind.KV_TRANSFER_START, EventKind.KV_TRANSFER_DONE,
         EventKind.DECODE_STEP, EventKind.FINISH,
+    },
+    "serve": {
+        EventKind.CONNECT, EventKind.DISCONNECT, EventKind.SHED,
+        EventKind.SUBMIT, EventKind.PLACE, EventKind.PREFILL,
+        EventKind.DECODE_STEP, EventKind.CANCEL, EventKind.FINISH,
     },
 }
 
