@@ -39,10 +39,15 @@ def main(argv: "list[str] | None" = None) -> int:
         "--rounds", type=int, default=None,
         help="measurement rounds (default: 2 with --check, else 1)",
     )
+    parser.add_argument(
+        "--scenario", default=None, choices=["fig13_quick", "fig13_1m", "all"],
+        help="which gate to run (default: all with --check, else fig13_quick)",
+    )
     args = parser.parse_args(argv)
     rounds = args.rounds if args.rounds is not None else (2 if args.check else 1)
+    scenario = args.scenario or ("all" if args.check else "fig13_quick")
     table, failures = run_perf_gate(
-        seed=args.seed, rounds=rounds, write_json=args.update
+        seed=args.seed, rounds=rounds, write_json=args.update, scenario=scenario
     )
     print(table.render())
     if args.check and failures:

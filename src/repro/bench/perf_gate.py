@@ -26,7 +26,7 @@ import pathlib
 from dataclasses import dataclass
 from time import perf_counter
 
-from repro.bench.fig13_cluster import QUICK, Fig13Scale, run_fig13_simulation
+from repro.bench.fig13_cluster import QUICK, Fig13Scale, build_cluster, run_fig13_simulation
 from repro.bench.reporting import FigureTable
 
 #: Default location of the checked-in thresholds + last recorded numbers.
@@ -40,6 +40,17 @@ DEFAULT_THRESHOLDS = {
     "min_speedup": 3.0,
     "min_requests_per_s": 150.0,
     "max_variance": 0.20,
+    "budgets": {
+        # The million-request scale-out smoke: a self-similar 2% slice of
+        # ``fig13_1m`` (20k requests) through the fast path only, gated on
+        # absolute wall-clock and event throughput. The full 1.0 fraction
+        # is the ``scale``-marked CI job, budgeted separately.
+        "fig13_1m": {
+            "fraction": 0.02,
+            "max_wall_s": 60.0,
+            "min_events_per_s": 2000.0,
+        },
+    },
 }
 
 
@@ -129,6 +140,125 @@ def measure(
     )
 
 
+@dataclass(frozen=True)
+class BudgetMeasurement:
+    """One fast-path-only budget run of a :class:`ScaleScenario` slice.
+
+    Scale runs gate on *absolute* wall-clock and event throughput rather
+    than a fast/ref speedup: at a million requests the reference path
+    would dominate CI time while proving nothing the differential suite
+    does not already pin.
+    """
+
+    scenario: str
+    seed: int
+    fraction: float
+    n_requests: int
+    gen_wall_s: float
+    fast_wall_s: float
+    finished_requests: int
+    failed_requests: int
+    tokens_generated: int
+    events_processed: int
+    sim_duration_s: float
+
+    @property
+    def events_per_s(self) -> float:
+        return self.events_processed / self.fast_wall_s
+
+    @property
+    def fast_requests_per_s(self) -> float:
+        return self.finished_requests / self.fast_wall_s
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "budget",
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "fraction": self.fraction,
+            "n_requests": self.n_requests,
+            "gen_wall_s": round(self.gen_wall_s, 4),
+            "fast_wall_s": round(self.fast_wall_s, 4),
+            "events_per_s": round(self.events_per_s, 1),
+            "fast_requests_per_s": round(self.fast_requests_per_s, 1),
+            "finished_requests": self.finished_requests,
+            "failed_requests": self.failed_requests,
+            "tokens_generated": self.tokens_generated,
+            "events_processed": self.events_processed,
+            "sim_duration_s": self.sim_duration_s,
+        }
+
+
+def measure_scale(
+    seed: int = 0, fraction: "float | None" = None, scenario=None
+) -> BudgetMeasurement:
+    """Time a self-similar slice of the ``fig13_1m`` scenario, fast path only.
+
+    Every request must terminate (finish or fail) — a scale run that
+    silently drops requests would make the wall-clock number meaningless.
+    """
+    from repro.workloads.scale import FIG13_1M, scale_trace
+
+    scenario = scenario or FIG13_1M
+    budgets = DEFAULT_THRESHOLDS["budgets"].get(scenario.name, {})
+    if fraction is None:
+        fraction = budgets.get("fraction", 1.0)
+    t0 = perf_counter()
+    trace = scale_trace(scenario, fraction=fraction, seed=seed)
+    gen_wall = perf_counter() - t0
+    sim = build_cluster(
+        scenario.num_gpus, max_batch_size=scenario.max_batch_size, fast_path=True
+    )
+    t0 = perf_counter()
+    result = sim.run(trace)
+    fast_wall = perf_counter() - t0
+    terminal = result.finished_requests + result.failed_requests
+    if terminal != len(trace):
+        raise AssertionError(
+            f"scale run dropped requests: {terminal} terminal of {len(trace)}"
+        )
+    return BudgetMeasurement(
+        scenario=scenario.name,
+        seed=seed,
+        fraction=fraction,
+        n_requests=len(trace),
+        gen_wall_s=gen_wall,
+        fast_wall_s=fast_wall,
+        finished_requests=result.finished_requests,
+        failed_requests=result.failed_requests,
+        tokens_generated=result.tokens_generated,
+        events_processed=result.events_processed,
+        sim_duration_s=result.duration,
+    )
+
+
+def evaluate_budget(
+    measurements: "list[BudgetMeasurement]", budgets: "dict | None" = None
+) -> "list[str]":
+    """Pure budget logic: violations against per-scenario wall budgets."""
+    if not measurements:
+        raise ValueError("evaluate_budget needs at least one measurement")
+    table = dict(DEFAULT_THRESHOLDS["budgets"])
+    table.update(budgets or {})
+    failures: "list[str]" = []
+    for m in measurements:
+        budget = table.get(m.scenario)
+        if budget is None:
+            failures.append(f"no budget recorded for scenario {m.scenario!r}")
+            continue
+        max_wall = budget.get("max_wall_s")
+        if max_wall is not None and m.fast_wall_s > max_wall:
+            failures.append(
+                f"{m.scenario}: wall {m.fast_wall_s:.1f}s over budget {max_wall:.1f}s"
+            )
+        floor = budget.get("min_events_per_s")
+        if floor is not None and m.events_per_s < floor:
+            failures.append(
+                f"{m.scenario}: {m.events_per_s:.0f} events/s below floor {floor:.0f}"
+            )
+    return failures
+
+
 def evaluate_gate(
     measurements: "list[PerfMeasurement]", thresholds: "dict | None" = None
 ) -> "list[str]":
@@ -169,9 +299,15 @@ def load_thresholds(path: "pathlib.Path | None" = None) -> dict:
     """Thresholds from the checked-in JSON, with defaults filled in."""
     path = path or BENCH_JSON
     th = dict(DEFAULT_THRESHOLDS)
+    th["budgets"] = {k: dict(v) for k, v in th["budgets"].items()}
     if path.exists():
         data = json.loads(path.read_text())
-        th.update(data.get("thresholds", {}))
+        loaded = dict(data.get("thresholds", {}))
+        # Per-scenario budgets merge key-by-key; a checked-in file that
+        # overrides one scenario's wall budget keeps the others' defaults.
+        for name, budget in loaded.pop("budgets", {}).items():
+            th["budgets"].setdefault(name, {}).update(budget)
+        th.update(loaded)
     return th
 
 
@@ -191,41 +327,70 @@ def write_results(
     return payload
 
 
+#: Scenario names ``run_perf_gate`` (and ``repro perf --scenario``) accepts.
+SCENARIOS = ("fig13_quick", "fig13_1m", "all")
+
+
 def run_perf_gate(
     seed: int = 0,
     rounds: int = 1,
     scale: "Fig13Scale | None" = None,
     json_path: "pathlib.Path | None" = None,
     write_json: bool = False,
+    scenario: str = "fig13_quick",
 ) -> "tuple[FigureTable, list[str]]":
-    """Run the gate and render a FigureTable (the ``repro perf`` command)."""
+    """Run the gate and render a FigureTable (the ``repro perf`` command).
+
+    ``scenario`` picks the measurement kind: ``fig13_quick`` is the
+    fast-vs-reference speedup gate, ``fig13_1m`` the scale-out wall
+    budget (fast path only), ``all`` both.
+    """
+    if scenario not in SCENARIOS:
+        raise ValueError(f"unknown scenario {scenario!r}; choose from {SCENARIOS}")
     thresholds = load_thresholds(json_path)
-    measurements = [measure(seed=seed, scale=scale) for _ in range(rounds)]
     table = FigureTable(
         figure_id="Perf gate",
         title=(
-            f"Fast-path perf gate: fig13 cluster scenario, seed {seed}, "
-            f"{rounds} round(s)"
+            f"Fast-path perf gate: {scenario}, seed {seed}, {rounds} round(s)"
         ),
         headers=[
-            "round", "fast_wall_s", "ref_wall_s", "speedup",
-            "fast_req_per_s", "fast_tok_per_s",
+            "scenario", "round", "fast_wall_s", "ref_wall_s", "speedup",
+            "fast_req_per_s", "events_per_s",
         ],
     )
-    for i, m in enumerate(measurements):
-        table.add_row(
-            i, m.fast_wall_s, m.ref_wall_s, m.speedup,
-            m.fast_requests_per_s, m.fast_tokens_per_s,
+    failures: "list[str]" = []
+    recorded: list = []
+    if scenario in ("fig13_quick", "all"):
+        measurements = [measure(seed=seed, scale=scale) for _ in range(rounds)]
+        for i, m in enumerate(measurements):
+            table.add_row(
+                m.scenario, i, m.fast_wall_s, m.ref_wall_s, m.speedup,
+                m.fast_requests_per_s, m.events_processed / m.fast_wall_s,
+            )
+        failures += evaluate_gate(measurements, thresholds)
+        recorded += measurements
+        table.add_note(
+            f"speedup thresholds: >= {thresholds['min_speedup']}x, "
+            f"throughput >= {thresholds['min_requests_per_s']} req/s, "
+            f"variance <= {thresholds['max_variance']:.0%}"
         )
-    failures = evaluate_gate(measurements, thresholds)
-    table.add_note(
-        f"thresholds: speedup >= {thresholds['min_speedup']}x, "
-        f"throughput >= {thresholds['min_requests_per_s']} req/s, "
-        f"variance <= {thresholds['max_variance']:.0%}"
-    )
+    if scenario in ("fig13_1m", "all"):
+        budget_runs = [measure_scale(seed=seed)]
+        for m in budget_runs:
+            table.add_row(
+                m.scenario, 0, m.fast_wall_s, "-", "-",
+                m.fast_requests_per_s, m.events_per_s,
+            )
+        failures += evaluate_budget(budget_runs, thresholds["budgets"])
+        recorded += budget_runs
+        b = thresholds["budgets"].get("fig13_1m", {})
+        table.add_note(
+            f"fig13_1m budget (fraction {b.get('fraction')}): wall <= "
+            f"{b.get('max_wall_s')}s, events/s >= {b.get('min_events_per_s')}"
+        )
     table.add_note(
         "gate: PASS" if not failures else "gate: FAIL — " + "; ".join(failures)
     )
     if write_json:
-        write_results(measurements, json_path, thresholds)
+        write_results(recorded, json_path, thresholds)
     return table, failures

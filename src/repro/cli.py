@@ -155,6 +155,10 @@ def _add_perf_parser(sub) -> None:
         help="fast-path perf gate: time fig13 through both engine paths",
     )
     perf.add_argument("--seed", type=int, default=0)
+    perf.add_argument("--scenario", default="fig13_quick",
+                      choices=["fig13_quick", "fig13_1m", "all"],
+                      help="fig13_quick = fast-vs-ref speedup gate; "
+                           "fig13_1m = scale-out wall budget (fast only)")
     perf.add_argument("--rounds", type=int, default=1,
                       help="measurement rounds (>=2 also bounds variance)")
     perf.add_argument("--check", action="store_true",
@@ -270,7 +274,8 @@ def _run_perf(args) -> int:
     from repro.bench.perf_gate import run_perf_gate
 
     table, failures = run_perf_gate(
-        seed=args.seed, rounds=args.rounds, write_json=args.update
+        seed=args.seed, rounds=args.rounds, write_json=args.update,
+        scenario=args.scenario,
     )
     text = table.render()
     print(text)

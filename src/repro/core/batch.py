@@ -111,7 +111,10 @@ class BatchPlan:
 
     @property
     def segment_sizes(self) -> np.ndarray:
-        return np.diff(self.seg)
+        sizes = self.derived.get("segment_sizes")
+        if sizes is None:
+            sizes = self.derived["segment_sizes"] = np.diff(self.seg)
+        return sizes
 
     @property
     def num_lora_segments(self) -> int:

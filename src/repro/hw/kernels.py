@@ -214,9 +214,21 @@ class KernelCostModel:
         rank: int,
         standalone: bool = False,
     ) -> float:
-        """Full batched LoRA addon ``y += x A B`` = shrink launch + expand launch."""
+        """Full batched LoRA addon ``y += x A B`` = shrink launch + expand launch.
+
+        Memoized on the segment *aggregates* ``(sum, count)`` rather than
+        the full tuple: both SGMV schedules depend on the segment vector
+        only through ``s_n`` and ``n`` (see :func:`sgmv_flop` /
+        :func:`sgmv_io_bytes`; the GEMV schedule applies iff ``s_n == n``),
+        and the standalone dispatch surcharge scales with ``n``. Two
+        different segmentations with equal aggregates therefore price
+        through the identical float operations, so the coarser key is
+        bit-identical and hits across batches whose LoRA membership
+        shuffles without changing size or distinct-model count.
+        """
         segs = tuple(int(s) for s in segments)
-        key = ("lora_addon", segs, h_in, h_out, rank, standalone)
+        s_n = sum(segs)
+        key = ("lora_addon", s_n, len(segs), h_in, h_out, rank, standalone)
         hit = self._memo_get(key)
         if hit is not None:
             return hit

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hw.kernels import KernelCostModel
 from repro.hw.spec import FP16_BYTES
 from repro.models.config import LlamaConfig
@@ -332,6 +334,48 @@ def step_latency_steady(
             config.head_dim,
             terms.kv_heads_shard,
         )
+    for term in terms.layer_tails:
+        t += term
+    total = config.num_layers * t
+    for term in terms.model_tails:
+        total += term
+    return total
+
+
+def step_latency_steady_run(
+    config: LlamaConfig,
+    kcm: KernelCostModel,
+    terms: StepLatencyTerms,
+    total_kv: int,
+    increment: int,
+    count: int,
+) -> np.ndarray:
+    """Vectorized :func:`step_latency_steady` over a run of steady steps.
+
+    Step ``k`` of a steady decode run prices with
+    ``total_kv + k * increment`` past-plus-current tokens (``increment``
+    is the batch size: every request's KvCache grows by one per step).
+    The arithmetic mirrors the scalar function op for op — elementwise
+    float64 array operations round identically to their scalar
+    counterparts, and the KV totals are exact integers — so
+    ``step_latency_steady_run(...)[k] == step_latency_steady(...,
+    total_kv + k * increment)`` bit for bit. One array expression per
+    run replaces ``count`` Python-level evaluations; the engine's
+    vectorized decode lane is the only caller.
+    """
+    totals = (
+        np.arange(count, dtype=np.int64) * increment + total_kv
+    ).astype(np.float64)
+    if terms.num_decode:
+        t = terms.layer_prefix + kcm.attention_decode_total(
+            totals,
+            terms.num_decode,
+            terms.heads_shard,
+            config.head_dim,
+            terms.kv_heads_shard,
+        )
+    else:
+        t = np.full(count, terms.layer_prefix)
     for term in terms.layer_tails:
         t += term
     total = config.num_layers * t

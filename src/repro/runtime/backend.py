@@ -33,6 +33,7 @@ from repro.models.perf import (
     model_step_latency,
     step_latency_from_terms,
     step_latency_steady,
+    step_latency_steady_run,
     step_latency_terms,
 )
 from repro.models.tp import SINGLE_GPU, TensorParallelConfig
@@ -127,6 +128,12 @@ class SimulatedBackend:
         scoped by backend identity because the terms depend on config, TP,
         flags and rank, and one plan may be executed by several backends
         (the shape-only ``"workload"`` entry, by contrast, is shared)."""
+        self._terms_memo: dict = {}
+        """Cross-plan :class:`StepLatencyTerms` memo. Rotating batch
+        membership yields thousands of distinct plans whose *shapes*
+        (token counts, LoRA segment sizes) repeat heavily; the terms are
+        a pure function of shape — decode KV lengths enter only under
+        ``cache_concat``, where the full workload keys the memo instead."""
         self.pool = unified_pool
         if unified_pool is not None:
             self.kv = unified_pool.kv
@@ -285,6 +292,133 @@ class SimulatedBackend:
         self._token_counter = counter
         return StepExecution(latency=latency + self.step_overhead, tokens=tokens)
 
+    def steady_run_latencies(self, plan: BatchPlan, total_kv: int, count: int):
+        """Per-step latencies for a ``count``-step steady decode run.
+
+        Step ``k`` prices exactly like :meth:`execute_steady` with
+        ``total_kv + k * batch`` (every decode request adds one KV token
+        per step), overhead included — see
+        :func:`~repro.models.perf.step_latency_steady_run` for the
+        bit-identity argument. Returns ``None`` until the plan's latency
+        terms exist (the first steady step builds them); the vectorized
+        lane then retries on the next step.
+        """
+        cached = plan.derived.get(self._terms_key)
+        if cached is None:
+            return None
+        batch = len(plan.derived["workload"][1])
+        return (
+            step_latency_steady_run(
+                self.config, self.cost_model, cached[0], total_kv, batch, count
+            )
+            + self.step_overhead
+        )
+
+    def commit_steady_run(self, request_ids, count: int) -> int:
+        """Apply ``count`` steady steps' KvCache and token effects in bulk.
+
+        ``request_ids`` iterates in the same order the per-step
+        :meth:`kv_append_many` call would (the steady lane's past-length
+        dict), so page assignment replays exactly. Returns the token
+        counter value *before* the run: step ``k``'s token for the
+        request at workload position ``p`` is ``base + k * batch + p + 1``,
+        matching ``count`` :meth:`execute_steady` calls. Only valid
+        without a unified pool (the lane gates on ``backend.pool is
+        None``).
+        """
+        self.kv.allocator.append_tokens_run(request_ids, count)
+        base = self._token_counter
+        self._token_counter = base + count * len(request_ids)
+        return base
+
+    def _terms_for(self, work: StepWorkload):
+        """Memoized :func:`step_latency_terms` for one invocation shape.
+
+        Without ``cache_concat`` every term is shape-invariant in the
+        decode KV lengths, so the memo keys on shape alone and plans that
+        re-batch the same composition share one build. With
+        ``cache_concat`` the full workload (lengths included) is the key,
+        which degrades to at-most-one hit — identical values either way.
+
+        Under the SGMV and Gather-BMM operators the LoRA terms depend on
+        the segment vector only through its sum and count (see
+        :meth:`~repro.hw.kernels.KernelCostModel.lora_addon`), so the key
+        collapses the segments to those aggregates and rotating LoRA
+        membership stops defeating the memo. The Loop operator prices
+        each segment individually, so it keeps the full tuple.
+        """
+        if self.flags.cache_concat:
+            key = work
+        else:
+            segs = work.lora_segments
+            if segs is not None and self.flags.lora_impl != "loop":
+                segs = (sum(segs), len(segs))
+            key = (
+                work.prefill_lens,
+                len(work.decode_kv_lens),
+                segs,
+                work.lora_rank,
+            )
+        terms = self._terms_memo.get(key)
+        if terms is None:
+            terms = step_latency_terms(
+                self.config, self.cost_model, work, tp=self.tp, flags=self.flags
+            )
+            self._terms_memo[key] = terms
+        return terms
+
+    def _terms_for_plan(self, plan: BatchPlan, past_lens: Mapping[str, int]):
+        """:meth:`_terms_for` keyed straight off the plan's cached shape.
+
+        On a memo hit this skips building the :class:`StepWorkload`
+        entirely (the decode-KV tuple is O(batch) dict lookups plus
+        validation, paid only to *compute a key* otherwise); the key is
+        constructed to match :meth:`_terms_for`'s exactly, so both paths
+        share one memo. Falls back to the workload path when the plan
+        shape is not cached yet or under ``cache_concat`` (where the KV
+        lengths are part of the key).
+        """
+        shape = plan.derived.get("workload")
+        if shape is None or self.flags.cache_concat:
+            work = workload_from_plan(
+                plan, past_lens, self.serve_lora, self.lora_rank
+            )
+            return self._terms_for(work)
+        prefill_lens, decode_ids, segments = shape
+        if not self.serve_lora:
+            seg_key = None
+        elif self.flags.lora_impl != "loop":
+            seg_key = (sum(segments), len(segments))
+        else:
+            seg_key = segments
+        key = (prefill_lens, len(decode_ids), seg_key, self.lora_rank)
+        terms = self._terms_memo.get(key)
+        if terms is None:
+            work = workload_from_plan(
+                plan, past_lens, self.serve_lora, self.lora_rank
+            )
+            terms = step_latency_terms(
+                self.config, self.cost_model, work, tp=self.tp, flags=self.flags
+            )
+            self._terms_memo[key] = terms
+        return terms
+
+    def build_steady_terms(
+        self, plan: BatchPlan, past_lens: Mapping[str, int]
+    ) -> None:
+        """Build the latency-term cache ahead of the first steady step.
+
+        The vectorized lane calls this when :meth:`steady_run_latencies`
+        would miss; the terms are exactly what the first
+        :meth:`execute_steady` for this plan would build (``past_lens``
+        is the engine's arm-time snapshot in both cases), so building
+        them early is unobservable.
+        """
+        if plan.derived.get(self._terms_key) is None:
+            terms = self._terms_for_plan(plan, past_lens)
+            decode_ids = plan.derived["workload"][1]
+            plan.derived[self._terms_key] = (terms, decode_ids)
+
     def _fast_latency(self, plan: BatchPlan, past_lens: Mapping[str, int]) -> float:
         """Step latency via the per-plan invariant-term cache.
 
@@ -298,10 +432,7 @@ class SimulatedBackend:
         """
         cached = plan.derived.get(self._terms_key)
         if cached is None:
-            work = workload_from_plan(plan, past_lens, self.serve_lora, self.lora_rank)
-            terms = step_latency_terms(
-                self.config, self.cost_model, work, tp=self.tp, flags=self.flags
-            )
+            terms = self._terms_for_plan(plan, past_lens)
             decode_ids = plan.derived["workload"][1]
             cached = (terms, decode_ids)
             plan.derived[self._terms_key] = cached

@@ -10,9 +10,16 @@ time-warped simulator) and its two adversarial variants:
   mid-stream after a few tokens (or disconnects without the courtesy
   :class:`~repro.serve.protocol.CancelOp` at all), exercising the
   disconnect-to-eviction path under concurrency;
-* **slow readers** — a seeded fraction sleeps between reads, proving a
+* **slow readers** — a seeded fraction lags between reads, proving a
   stalled client backpressures only its own connection while the backend
   keeps streaming everyone else.
+
+Nothing here waits on the wall clock. Slow readers *yield the event
+loop* a configured number of times between reads instead of sleeping,
+and staggered starts are chained connection waves (wave k+1 is released
+when wave k has connected) instead of timed delays — so load runs are
+insensitive to machine load and timing margins never flake
+(tests/test_serve_async.py's deflake contract).
 
 Everything random is drawn from one seeded RNG at spec-expansion time, so
 a load run's *request mix* is reproducible even though asyncio
@@ -36,6 +43,18 @@ from repro.serve.protocol import (
     encode_frame,
 )
 from repro.utils.rng import new_rng
+
+
+async def yield_loop(times: int) -> None:
+    """Cede the event loop ``times`` times without touching the wall clock.
+
+    The event-driven replacement for ``asyncio.sleep(delay)`` in load
+    plans: every ready task (other clients, the server, the bridge pump)
+    gets ``times`` chances to run before the caller proceeds, however
+    loaded the machine is.
+    """
+    for _ in range(times):
+        await asyncio.sleep(0)
 
 
 class ServeClient:
@@ -83,12 +102,13 @@ class ServeClient:
         self,
         op: GenerateOp,
         cancel_after: "int | None" = None,
-        read_delay: float = 0.0,
+        read_yields: int = 0,
     ) -> "ClientResult":
         """Run one generation to completion (or cancellation).
 
         ``cancel_after=N`` sends a :class:`CancelOp` once N tokens have
-        arrived; ``read_delay`` sleeps between reads (a slow reader).
+        arrived; ``read_yields`` cedes the event loop that many times
+        between reads (a slow reader, without wall-clock sleeps).
         """
         loop = asyncio.get_running_loop()
         start = loop.time()
@@ -121,8 +141,8 @@ class ServeClient:
                 ):
                     await self.send(CancelOp(request_id=result.request_id))
                     cancel_sent = True
-                if read_delay > 0.0:
-                    await asyncio.sleep(read_delay)
+                if read_yields > 0:
+                    await yield_loop(read_yields)
                 continue
             if isinstance(frame, EndFrame):
                 result.status = frame.status
@@ -164,15 +184,21 @@ class LoadSpec:
     """Fraction that hard-disconnect (no CancelOp) after ``cancel_after``
     tokens — the rude variant of a cancellation storm."""
     slow_fraction: float = 0.0
-    """Fraction of clients that sleep ``slow_delay`` between reads."""
-    slow_delay: float = 0.005
-    ramp: float = 0.0
-    """Wall seconds over which client starts are staggered."""
+    """Fraction of clients that lag between reads (slow readers)."""
+    slow_yields: int = 20
+    """Event-loop yields a slow reader cedes between token reads — the
+    load-insensitive replacement for a wall-clock read delay."""
+    stagger: int = 0
+    """Stagger starts in connection waves of this size: wave k+1 is
+    released once every client in wave k has connected (0 = all at once).
+    Event-driven; no timed ramp, so no wall-clock sensitivity."""
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.num_clients < 1:
             raise ValueError("num_clients must be >= 1")
+        if self.slow_yields < 0 or self.stagger < 0:
+            raise ValueError("slow_yields and stagger must be >= 0")
         for frac in (self.cancel_fraction, self.abort_fraction, self.slow_fraction):
             if not 0.0 <= frac <= 1.0:
                 raise ValueError(f"fractions must be in [0, 1], got {frac}")
@@ -184,8 +210,7 @@ class _ClientPlan:
     op: GenerateOp
     cancel_after: "int | None"
     abort_after: "int | None"
-    read_delay: float
-    start_delay: float
+    read_yields: int
 
 
 def expand_plans(spec: LoadSpec) -> "list[_ClientPlan]":
@@ -208,13 +233,13 @@ def expand_plans(spec: LoadSpec) -> "list[_ClientPlan]":
             cancel_after = spec.cancel_after
         elif roll < spec.cancel_fraction + spec.abort_fraction:
             abort_after = spec.cancel_after
-        read_delay = spec.slow_delay if float(rng.random()) < spec.slow_fraction else 0.0
-        start_delay = float(rng.random()) * spec.ramp
+        read_yields = (
+            spec.slow_yields if float(rng.random()) < spec.slow_fraction else 0
+        )
         plans.append(
             _ClientPlan(
                 index=i, op=op, cancel_after=cancel_after,
-                abort_after=abort_after, read_delay=read_delay,
-                start_delay=start_delay,
+                abort_after=abort_after, read_yields=read_yields,
             )
         )
     return plans
@@ -230,22 +255,63 @@ class LoadGenerator:
 
     async def run(self) -> "list[ClientResult]":
         plans = expand_plans(self.spec)
+        gates = self._wave_gates(len(plans))
         return list(
-            await asyncio.gather(*(self._run_client(p) for p in plans))
+            await asyncio.gather(
+                *(self._run_client(p, g) for p, g in zip(plans, gates))
+            )
         )
 
-    async def _run_client(self, plan: "_ClientPlan") -> ClientResult:
-        if plan.start_delay > 0.0:
-            await asyncio.sleep(plan.start_delay)
+    def _wave_gates(self, n: int) -> "list[tuple[asyncio.Event | None, object | None]]":
+        """Per-client (wait-for, mark-connected) pairs for staggered starts.
+
+        Wave ``k``'s event fires when every client of wave ``k - 1`` has
+        connected — a causal chain, not a timer, so the stagger shape is
+        identical on an idle laptop and a saturated CI runner.
+        """
+        stagger = self.spec.stagger
+        if stagger <= 0 or n <= stagger:
+            return [(None, None)] * n
+        waves = [list(range(i, min(i + stagger, n))) for i in range(0, n, stagger)]
+        events = [asyncio.Event() for _ in waves]
+        gates: "list[tuple[asyncio.Event | None, object | None]]" = [None] * n
+        for w, members in enumerate(waves):
+            remaining = {"count": len(members)}
+            release = events[w]
+
+            def connected(remaining=remaining, release=release) -> None:
+                remaining["count"] -= 1
+                if remaining["count"] == 0:
+                    release.set()
+
+            wait = events[w - 1] if w > 0 else None
+            for i in members:
+                gates[i] = (wait, connected)
+        return gates
+
+    async def _run_client(
+        self,
+        plan: "_ClientPlan",
+        gate: "tuple[asyncio.Event | None, object | None]" = (None, None),
+    ) -> ClientResult:
+        wait, connected = gate
+        if wait is not None:
+            await wait.wait()
         client = ServeClient(self.host, self.port)
-        await client.connect()
+        try:
+            await client.connect()
+        finally:
+            # Release the next wave even on a failed connect — a single
+            # refused socket must not deadlock the rest of the load run.
+            if connected is not None:
+                connected()
         try:
             if plan.abort_after is not None:
                 return await self._run_aborting(client, plan)
             return await client.generate(
                 plan.op,
                 cancel_after=plan.cancel_after,
-                read_delay=plan.read_delay,
+                read_yields=plan.read_yields,
             )
         finally:
             await client.close()

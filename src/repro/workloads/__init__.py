@@ -22,21 +22,26 @@ from repro.workloads.popularity import (
     segment_sizes_for,
     zipf_counts,
 )
+from repro.workloads.scale import FIG13_1M, ScaleScenario, fig13_1m_trace, scale_trace
 from repro.workloads.trace import RequestSpec, Trace, generate_trace, open_loop_trace
 
 __all__ = [
+    "FIG13_1M",
     "LengthSample",
     "POPULARITY_NAMES",
     "PoissonArrivals",
     "RampProfile",
     "RequestSpec",
+    "ScaleScenario",
     "ShareGptLengths",
     "Trace",
     "TraceSummary",
     "assign_lora_ids",
     "constant_rate",
     "empirical_zipf_alpha",
+    "fig13_1m_trace",
     "generate_trace",
+    "scale_trace",
     "popularity_histogram",
     "summarize_trace",
     "open_loop_trace",

@@ -110,6 +110,48 @@ class TestServeSubcommands:
         assert "CONNECT" in text and "SHED" in text
 
 
+class TestPerfSubcommand:
+    def test_scenario_default_and_choices(self):
+        parser = build_parser()
+        assert parser.parse_args(["perf"]).scenario == "fig13_quick"
+        for name in ("fig13_quick", "fig13_1m", "all"):
+            assert parser.parse_args(["perf", "--scenario", name]).scenario == name
+
+    def test_bad_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf", "--scenario", "fig99_huge"])
+
+    def test_scale_scenario_smoke(self, tmp_path, monkeypatch, capsys):
+        """``repro perf --scenario fig13_1m`` runs the wall-budget row
+        (shrunk to 500 requests so tier-1 stays fast)."""
+        import repro.bench.perf_gate as pg
+
+        monkeypatch.setitem(
+            pg.DEFAULT_THRESHOLDS["budgets"]["fig13_1m"], "fraction", 0.0005
+        )
+        # Sidestep the checked-in JSON: its budgets would merge over the
+        # shrunken fraction and run the full 2 % smoke.
+        monkeypatch.setattr(pg, "BENCH_JSON", tmp_path / "no_such.json")
+        rc = main([
+            "perf", "--scenario", "fig13_1m", "--out", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fig13_1m" in out
+        assert "fig13_1m" in (tmp_path / "perf_gate.txt").read_text()
+
+
+class TestTraceScenarioChoices:
+    def test_every_registered_scenario_is_a_choice(self):
+        parser = build_parser()
+        for name in ("single_gpu", "cluster_migration", "faults", "disagg", "serve"):
+            assert parser.parse_args(["trace", name]).scenario == name
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "warpdrive"])
+
+
 class TestAdaptersSubcommand:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

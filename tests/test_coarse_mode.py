@@ -1,0 +1,165 @@
+"""Coarse time-step mode (``REPRO_COARSE_DT``) is statistics-only.
+
+The contract (src/repro/utils/fastpath.py, docs/performance.md): under a
+coarse dt the *bulk* step recordings collapse per-step metric series
+samples into dt-wide buckets — token sums, last batch size — while
+request evolution and registry totals stay byte-identical to the exact
+run. These tests pin both halves: the unit-level bucket arithmetic on
+:class:`ClusterMetrics`, and an end-to-end fig13-style run where the
+only observable difference is series density.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.metrics import ClusterMetrics
+from repro.utils.fastpath import coarse_dt
+
+
+class TestResolver:
+    def test_env_opt_in_and_off_values(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COARSE_DT", raising=False)
+        assert coarse_dt() is None
+        monkeypatch.setenv("REPRO_COARSE_DT", "2.5")
+        assert coarse_dt() == 2.5
+        assert ClusterMetrics().coarse_dt == 2.5
+        monkeypatch.setenv("REPRO_COARSE_DT", "0")
+        assert coarse_dt() is None
+        assert ClusterMetrics().coarse_dt is None
+
+    def test_explicit_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COARSE_DT", "2.5")
+        assert coarse_dt(10.0) == 10.0
+        assert ClusterMetrics(coarse_dt=10.0).coarse_dt == 10.0
+
+    def test_non_numeric_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COARSE_DT", "fast")
+        with pytest.raises(ValueError):
+            coarse_dt()
+
+
+class TestBulkCollapse:
+    """Bucket arithmetic of the two bulk recording paths."""
+
+    STARTS = np.array([0.1, 0.6, 1.1, 2.3, 2.9, 5.0])
+
+    def test_record_step_run_collapses_series_not_totals(self):
+        exact = ClusterMetrics()
+        coarse = ClusterMetrics(coarse_dt=2.0)
+        for m in (exact, coarse):
+            m.record_step_run(
+                "gpu0", self.STARTS, tokens_per_step=3.0, batch_size=4
+            )
+        # Registry totals are never coarsened.
+        assert exact.registry.to_json() == coarse.registry.to_json()
+        # Buckets 0, 2, 4 -> one sample each, stamped at the bucket's
+        # first step time (monotone past exact scalar samples).
+        assert len(coarse.tokens) == 3
+        assert len(exact.tokens) == len(self.STARTS)
+        assert list(coarse.tokens.times) == [0.1, 2.3, 5.0]
+        # Token counts are integers, so bucket sums match exactly.
+        assert coarse.tokens.bucket_sum(2.0, 6.0) == exact.tokens.bucket_sum(2.0, 6.0)
+        assert list(coarse.tokens.values) == [9.0, 6.0, 3.0]
+        # Batch-size series keeps one (last-value) sample per bucket.
+        assert len(coarse.gpu_batch_size["gpu0"]) == 3
+        assert set(coarse.gpu_batch_size["gpu0"].values) == {4.0}
+
+    def test_record_step_merge_collapses_series_not_totals(self):
+        times = np.sort(np.concatenate([self.STARTS, self.STARTS + 0.05]))
+        tokens = np.ones(len(times)) * 2.0
+        per_gpu = [
+            ("gpu0", self.STARTS, 3),
+            ("gpu1", self.STARTS + 0.05, 5),
+        ]
+        exact = ClusterMetrics()
+        coarse = ClusterMetrics(coarse_dt=2.0)
+        for m in (exact, coarse):
+            m.record_step_merge(times, tokens, per_gpu)
+        assert exact.registry.to_json() == coarse.registry.to_json()
+        assert len(coarse.tokens) == 3
+        assert len(exact.tokens) == len(times)
+        assert coarse.tokens.bucket_sum(2.0, 6.0) == exact.tokens.bucket_sum(2.0, 6.0)
+        for gpu in ("gpu0", "gpu1"):
+            assert len(coarse.gpu_batch_size[gpu]) == 3
+            assert len(exact.gpu_batch_size[gpu]) == len(self.STARTS)
+
+    def test_bucket_sum_at_coarser_resolution_unchanged(self):
+        # Any bucket_sum at resolution >= dt is unchanged by coarsening.
+        exact = ClusterMetrics()
+        coarse = ClusterMetrics(coarse_dt=1.0)
+        for m in (exact, coarse):
+            m.record_step_run(
+                "gpu0", self.STARTS, tokens_per_step=2.0, batch_size=2
+            )
+        for bucket in (1.0, 2.0, 3.0):
+            assert coarse.tokens.bucket_sum(bucket, 6.0) == exact.tokens.bucket_sum(
+                bucket, 6.0
+            )
+
+    def test_empty_run_is_noop(self):
+        m = ClusterMetrics(coarse_dt=1.0)
+        m.record_step_run("gpu0", np.array([]), tokens_per_step=1.0, batch_size=1)
+        m.record_step_merge(np.array([]), np.array([]), [])
+        assert len(m.tokens) == 0
+
+
+class TestEndToEnd:
+    """A fig13-style run under REPRO_COARSE_DT differs only in series density."""
+
+    DT = 5.0
+
+    def _run(self, monkeypatch, env: "str | None"):
+        from repro.bench.fig13_cluster import build_cluster
+        from repro.workloads.scale import FIG13_1M, scale_trace
+
+        if env is None:
+            monkeypatch.delenv("REPRO_COARSE_DT", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_COARSE_DT", env)
+        trace = scale_trace(FIG13_1M, fraction=0.001, seed=0)
+        sim = build_cluster(
+            FIG13_1M.num_gpus,
+            max_batch_size=FIG13_1M.max_batch_size,
+            fast_path=True,
+        )
+        result = sim.run(trace)
+        return sim, result
+
+    def test_statistics_only(self, monkeypatch):
+        sim_exact, res_exact = self._run(monkeypatch, None)
+        sim_coarse, res_coarse = self._run(monkeypatch, str(self.DT))
+
+        # Request evolution is exact: terminal accounting, tokens, clock.
+        for attr in (
+            "finished_requests",
+            "failed_requests",
+            "tokens_generated",
+            "events_processed",
+            "duration",
+        ):
+            assert getattr(res_coarse, attr) == getattr(res_exact, attr), attr
+
+        # Registry totals are never coarsened.
+        assert (
+            sim_coarse.metrics.registry.to_json()
+            == sim_exact.metrics.registry.to_json()
+        )
+
+        # The token series is genuinely downsampled...
+        exact_tokens = sim_exact.metrics.tokens
+        coarse_tokens = sim_coarse.metrics.tokens
+        assert len(coarse_tokens) < len(exact_tokens)
+
+        # ...but any bucket_sum at resolution >= dt is unchanged.
+        dur = float(res_exact.duration) + self.DT
+        ce = coarse_tokens.bucket_sum(self.DT, dur)
+        ex = exact_tokens.bucket_sum(self.DT, dur)
+        assert [t for t, _ in ce] == [t for t, _ in ex]
+        np.testing.assert_allclose(
+            [v for _, v in ce], [v for _, v in ex], rtol=0, atol=1e-6
+        )
+        assert sum(v for _, v in ce) == pytest.approx(
+            float(res_exact.tokens_generated)
+        )

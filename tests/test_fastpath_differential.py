@@ -214,6 +214,253 @@ def test_random_workload_differential(
 
 
 # ---------------------------------------------------------------------------
+# Composed untraced workloads: the cross-engine vector lane under load
+# ---------------------------------------------------------------------------
+# A Tracer pins per-step event streams, which (by design) disarms the
+# gen-2 cross-engine merge lane — so the traced suite above never covers
+# it. These runs go untraced and compare everything that remains
+# observable: terminal request state, the unified metrics registry, the
+# metrics time-series, and the summary tuple. Workloads *compose* the
+# features the per-feature suites cover in isolation: disagg pools,
+# scripted faults, cancellation storms, and the serve gateway's
+# admission + disconnect path.
+
+
+def _serve_drive(sim, trace, storm_picks):
+    """Drive ``trace`` through the ServeGateway on the sim's event loop.
+
+    ``storm_picks`` schedules mid-stream client disconnects (the
+    cancellation storm, expressed the way the serving frontend causes
+    it: ``client_close`` -> CANCEL ``reason="disconnect"``).
+    """
+    from repro.cluster.frontend import Frontend
+    from repro.serve.gateway import ServeGateway
+    from repro.serve.limits import AdmissionController, TenantPolicy
+    from repro.serve.metrics import ServeMetrics
+
+    gateway = ServeGateway(
+        Frontend(sim),
+        AdmissionController(
+            default_policy=TenantPolicy(rate=3.0, burst=2.0, max_inflight=5),
+            max_total_inflight=24,
+        ),
+        metrics=ServeMetrics(),
+        tracer=None,
+    )
+    storm = {idx % len(trace.requests): delay for idx, delay in storm_picks}
+
+    def make_open(spec, index: int):
+        def action(now: float) -> None:
+            stream, _ = gateway.open(
+                tenant=spec.lora_id, lora_id=spec.lora_id,
+                prompt_len=spec.prompt_len, response_len=spec.response_len,
+                now=now, request_id=spec.request_id,
+            )
+            delay = storm.get(index)
+            if stream is not None and delay is not None:
+                sim.loop.schedule(
+                    now + delay,
+                    lambda t, rid=spec.request_id: gateway.client_close(rid, t),
+                )
+
+        return action
+
+    for i, spec in enumerate(trace):
+        sim.loop.schedule(spec.arrival_time, make_open(spec, i))
+
+    def poll_tick(now: float) -> None:
+        gateway.poll(now)
+        if sim.work_remaining() or gateway.open_streams():
+            sim.loop.schedule(now + 0.25, poll_tick)
+
+    sim.loop.schedule(0.25, poll_tick)
+    sim.loop.run()
+    gateway.poll(sim.now)
+    return list(sim._requests.values())
+
+
+def _build_composed(
+    *,
+    seed,
+    topology,
+    num_gpus,
+    max_batch,
+    rate,
+    duration,
+    lora_rank,
+    storm_picks,
+    fault_plan,
+    serve_frontend,
+    fast_path,
+):
+    from repro.cluster.disagg import DisaggConfig, DisaggSimulator
+
+    trace = generate_trace(
+        int(rate * duration) + 8,
+        "skewed",
+        seed=seed,
+        lengths=_short_lengths(),
+        arrivals=PoissonArrivals(rate=constant_rate(rate), duration=duration),
+    )
+    injector = FaultInjector(fault_plan, seed=seed) if fault_plan else None
+
+    def engines(ids):
+        return [
+            GpuEngine(
+                f"gpu{i:02d}",
+                SimulatedBackend(
+                    LLAMA2_7B, step_overhead=0.05, lora_rank=lora_rank,
+                    fast_path=fast_path,
+                ),
+                EngineConfig(max_batch_size=max_batch),
+                fast_path=fast_path,
+            )
+            for i in ids
+        ]
+
+    if topology == "disagg":
+        n_prefill = max(1, num_gpus // 2)
+        sim = DisaggSimulator(
+            engines(range(n_prefill)),
+            engines(range(n_prefill, num_gpus)),
+            config=DisaggConfig(decode_queue_limit=2),
+            fault_injector=injector,
+            tracer=None,
+            fast_path=fast_path,
+        )
+    else:
+        sim = ClusterSimulator(
+            engines(range(num_gpus)),
+            SchedulerConfig(migration_interval=1.0, light_load_fraction=0.5),
+            fault_injector=injector,
+            tracer=None,
+            fast_path=fast_path,
+        )
+
+    if serve_frontend:
+        requests = _serve_drive(sim, trace, storm_picks)
+        by_state = {}
+        for r in requests:
+            by_state[r.state.name] = by_state.get(r.state.name, 0) + 1
+        summary = (
+            sim.loop.processed,
+            tuple(sorted(by_state.items())),
+            sum(r.num_generated for r in requests),
+            sim.now,
+        )
+        return requests, sim.metrics, summary, sim
+
+    # Direct cancellation storm: same mechanism as the traced suite, but
+    # storm-sized, and racing the vector merge lane instead of the
+    # per-step one.
+    for idx, delay in storm_picks:
+        spec = trace.requests[idx % len(trace.requests)]
+
+        def _cancel(now, rid=spec.request_id):
+            req = sim._requests.get(rid)
+            if req is not None and req.state in (
+                RequestState.QUEUED, RequestState.RUNNING
+            ):
+                sim.cancel(req, now)
+
+        sim.loop.schedule(spec.arrival_time + delay, _cancel)
+    result = sim.run(trace)
+    summary = (
+        result.events_processed,
+        result.finished_requests,
+        result.failed_requests,
+        result.tokens_generated,
+        result.num_migrations,
+        result.duration,
+    )
+    return result.requests, result.metrics, summary, sim
+
+
+def _assert_composed_equivalent(fast, ref):
+    frequests, fmetrics, fsummary, _ = fast
+    rrequests, rmetrics, rsummary, _ = ref
+    assert fsummary == rsummary
+    assert _request_states(frequests) == _request_states(rrequests)
+    assert fmetrics.registry.to_json() == rmetrics.registry.to_json()
+    assert fmetrics.tokens == rmetrics.tokens
+    assert fmetrics.gpu_batch_size == rmetrics.gpu_batch_size
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    topology=st.sampled_from(["cluster", "disagg"]),
+    serve_frontend=st.booleans(),
+    num_gpus=st.integers(min_value=2, max_value=4),
+    max_batch=st.integers(min_value=2, max_value=6),
+    rate=st.sampled_from([6.0, 10.0, 14.0]),
+    duration=st.sampled_from([2.0, 3.5]),
+    lora_rank=st.sampled_from([8, 16]),
+    storm_picks=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=63),
+            st.floats(min_value=0.05, max_value=1.5),
+        ),
+        max_size=10,
+    ),
+    fault_subset=st.sets(st.integers(min_value=0, max_value=2), max_size=3),
+)
+def test_composed_untraced_differential(
+    seed, topology, serve_frontend, num_gpus, max_batch, rate, duration,
+    lora_rank, storm_picks, fault_subset,
+):
+    """Disagg pools x faults x cancellation storms x serve admission,
+    untraced so the cross-engine vector merge lane is armed: both paths
+    must agree on every observable the run leaves behind."""
+    fault_plan = [_FAULT_MENU[i] for i in sorted(fault_subset)]
+    if num_gpus <= 2:
+        # Disagg's decode pool (or a 2-GPU cluster) may not survive a
+        # crash with work to compare afterwards.
+        fault_plan = [f for f in fault_plan if f.kind is not FaultKind.GPU_CRASH]
+    if serve_frontend and topology == "disagg":
+        # The serve gateway drives the plain cluster scheduler; disagg
+        # exercises its own handoff frontend instead.
+        topology = "cluster"
+    kwargs = dict(
+        seed=seed, topology=topology, num_gpus=num_gpus, max_batch=max_batch,
+        rate=rate, duration=duration, lora_rank=lora_rank,
+        storm_picks=storm_picks, fault_plan=fault_plan,
+        serve_frontend=serve_frontend,
+    )
+    fast = _build_composed(fast_path=True, **kwargs)
+    ref = _build_composed(fast_path=False, **kwargs)
+    _assert_composed_equivalent(fast, ref)
+
+
+def test_vector_merge_lane_engages_untraced():
+    """The canary for the composed suite: an untraced decode-heavy
+    multi-GPU run must actually commit cross-engine merges — otherwise
+    the suite above is comparing the per-step lane to itself."""
+    trace = generate_trace(
+        60, "skewed", seed=5,
+        lengths=ShareGptLengths(max_prompt_len=32, max_response_len=24),
+        arrivals=PoissonArrivals(rate=constant_rate(12.0), duration=5.0),
+    )
+    engines = [
+        GpuEngine(
+            f"gpu{i:02d}",
+            SimulatedBackend(LLAMA2_7B, fast_path=True),
+            EngineConfig(max_batch_size=8),
+            fast_path=True,
+        )
+        for i in range(2)
+    ]
+    sim = ClusterSimulator(engines, fast_path=True)
+    sim.run(trace)
+    assert sim._vector.merges > 0
+    assert sim._vector.merged_steps > sim._vector.merges
+
+
+# ---------------------------------------------------------------------------
 # Canary: the fast lanes must actually engage
 # ---------------------------------------------------------------------------
 def test_fast_lanes_engage():

@@ -17,10 +17,13 @@ import pytest
 from repro.bench.fig13_cluster import Fig13Scale
 from repro.bench.perf_gate import (
     DEFAULT_THRESHOLDS,
+    BudgetMeasurement,
     PerfMeasurement,
+    evaluate_budget,
     evaluate_gate,
     load_thresholds,
     measure,
+    measure_scale,
     run_perf_gate,
     write_results,
 )
@@ -33,6 +36,15 @@ def fake(fast=1.0, ref=4.0, finished=500, tokens=10_000):
         scenario="fake", seed=0, fast_wall_s=fast, ref_wall_s=ref,
         finished_requests=finished, tokens_generated=tokens,
         events_processed=1234, sim_duration_s=60.0,
+    )
+
+
+def fake_budget(scenario="fig13_1m", wall=10.0, events=100_000):
+    return BudgetMeasurement(
+        scenario=scenario, seed=0, fraction=0.02, n_requests=20_000,
+        gen_wall_s=0.1, fast_wall_s=wall, finished_requests=20_000,
+        failed_requests=0, tokens_generated=200_000,
+        events_processed=events, sim_duration_s=500.0,
     )
 
 
@@ -65,6 +77,32 @@ class TestEvaluateGate:
             evaluate_gate([])
 
 
+class TestEvaluateBudget:
+    def test_passes_within_budget(self):
+        assert evaluate_budget([fake_budget()]) == []
+
+    def test_wall_budget_exceeded(self):
+        failures = evaluate_budget([fake_budget(wall=120.0)])
+        assert any("over budget" in f for f in failures)
+
+    def test_events_per_s_floor(self):
+        failures = evaluate_budget([fake_budget(wall=50.0, events=1000)])
+        assert any("events/s" in f for f in failures)
+
+    def test_unknown_scenario_fails_loudly(self):
+        failures = evaluate_budget([fake_budget(scenario="nonesuch")])
+        assert any("no budget" in f for f in failures)
+
+    def test_budget_overrides(self):
+        tight = {"fig13_1m": {"max_wall_s": 1.0}}
+        failures = evaluate_budget([fake_budget(wall=2.0)], tight)
+        assert any("over budget" in f for f in failures)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_budget([])
+
+
 class TestJsonRoundTrip:
     def test_write_and_load(self, tmp_path):
         path = tmp_path / "BENCH_perf.json"
@@ -89,8 +127,34 @@ class TestJsonRoundTrip:
         data = json.loads(BENCH_JSON.read_text())
         assert set(data) == {"thresholds", "results"}
         assert data["thresholds"]["min_speedup"] >= 3.0
-        for result in data["results"]:
+        budgets = data["thresholds"]["budgets"]
+        speedup_rows = [r for r in data["results"] if r.get("kind") != "budget"]
+        budget_rows = [r for r in data["results"] if r.get("kind") == "budget"]
+        assert speedup_rows and budget_rows
+        for result in speedup_rows:
             assert result["speedup"] >= data["thresholds"]["min_speedup"]
+        for result in budget_rows:
+            budget = budgets[result["scenario"]]
+            assert result["fast_wall_s"] <= budget["max_wall_s"]
+            assert result["events_per_s"] >= budget["min_events_per_s"]
+            # Every request reached a terminal state in the recorded run.
+            assert (
+                result["finished_requests"] + result["failed_requests"]
+                == result["n_requests"]
+            )
+
+    def test_budget_thresholds_merge_nested(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps({
+            "thresholds": {"budgets": {"fig13_1m": {"max_wall_s": 99.0}}},
+            "results": [],
+        }))
+        th = load_thresholds(path)
+        assert th["budgets"]["fig13_1m"]["max_wall_s"] == 99.0
+        # Keys the override omits keep their defaults.
+        default = DEFAULT_THRESHOLDS["budgets"]["fig13_1m"]
+        assert th["budgets"]["fig13_1m"]["min_events_per_s"] == default["min_events_per_s"]
+        assert th["min_speedup"] == DEFAULT_THRESHOLDS["min_speedup"]
 
 
 class TestMeasurePlumbing:
@@ -111,6 +175,36 @@ class TestMeasurePlumbing:
         text = table.render()
         assert "Perf gate" in text and "speedup" in text
         assert path.exists()
+
+    def test_measure_scale_tiny_fraction(self):
+        m = measure_scale(seed=0, fraction=0.0005)  # 500 requests
+        assert m.scenario == "fig13_1m"
+        assert m.n_requests == 500
+        assert m.finished_requests + m.failed_requests == m.n_requests
+        assert m.events_per_s > 0
+        data = m.to_json()
+        assert data["kind"] == "budget"
+        assert data["fraction"] == 0.0005
+
+    def test_run_perf_gate_budget_scenario(self, tmp_path, monkeypatch):
+        import repro.bench.perf_gate as pg
+
+        path = tmp_path / "BENCH_perf.json"
+        monkeypatch.setitem(
+            pg.DEFAULT_THRESHOLDS["budgets"]["fig13_1m"], "fraction", 0.0005
+        )
+        table, failures = run_perf_gate(
+            seed=0, scenario="fig13_1m", json_path=path, write_json=True
+        )
+        text = table.render()
+        assert "fig13_1m" in text
+        assert failures == []
+        (row,) = json.loads(path.read_text())["results"]
+        assert row["kind"] == "budget" and row["n_requests"] == 500
+
+    def test_run_perf_gate_rejects_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            run_perf_gate(scenario="nonesuch")
 
 
 def test_cli_perf_smoke(tmp_path, monkeypatch, capsys):

@@ -170,18 +170,38 @@ class TestRateLimiting:
 
 class TestSlowReaders:
     def test_slow_reader_does_not_stall_other_connections(self):
-        """A fifth of the clients sleep between reads. Everyone still
-        finishes with a full response — the backend buffers into the slow
-        streams' queues instead of blocking on their sockets."""
+        """A fifth of the clients lag between reads (event-loop yields,
+        not wall-clock sleeps — this test must not be load-sensitive).
+        Everyone still finishes with a full response — the backend buffers
+        into the slow streams' queues instead of blocking on their
+        sockets."""
         stack = build_sim_stack(warp=None)
         spec = LoadSpec(
             num_clients=60, response_len=(4, 16),
-            slow_fraction=0.2, slow_delay=0.005, seed=SEED,
+            slow_fraction=0.2, slow_yields=40, seed=SEED,
         )
         summary, results = run(run_load(stack, spec))
         assert summary["by_status"] == {"finished": 60}
         for plan, result in zip(expand_plans(spec), results):
             assert result.num_tokens == plan.op.response_len
+
+
+class TestStaggeredStarts:
+    def test_wave_ramp_is_event_driven_and_completes(self):
+        """Client starts chained in waves of 8: wave k+1 connects only
+        after wave k has. The ramp shape comes from causality, not
+        timers, so the test is immune to machine load; every admitted
+        stream still finishes with its full response."""
+        stack = build_sim_stack(warp=None)
+        spec = LoadSpec(
+            num_clients=48, response_len=(4, 12), stagger=8, seed=SEED,
+        )
+        summary, results = run(run_load(stack, spec))
+        assert summary["by_status"] == {"finished": 48}
+        for plan, result in zip(expand_plans(spec), results):
+            assert result.num_tokens == plan.op.response_len
+        reg = stack.metrics.registry
+        assert reg.get("serve_active_connections").total() == 0
 
 
 class TestFunctionalBackend:

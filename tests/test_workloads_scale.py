@@ -1,0 +1,117 @@
+"""The vectorized ``fig13_1m`` scale-trace generator.
+
+Tier-1 pins everything cheap about the generator — determinism, bounds,
+self-similar shrinking, Zipf skew, ramp shape — on small fractions. The
+full million-request run lives in ``test_scale_million.py`` behind the
+``scale`` marker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.scale import FIG13_1M, ScaleScenario, fig13_1m_trace, scale_trace
+
+
+def tiny(n=2000, **kw) -> ScaleScenario:
+    base = dict(
+        name="tiny", n_requests=n, num_gpus=2, num_models=16, peak_rate=20.0,
+        hold_fraction=0.2, prompt_range=(4, 24), response_range=(4, 16),
+    )
+    base.update(kw)
+    return ScaleScenario(**base)
+
+
+class TestScenario:
+    def test_duration_matches_trapezoid_mean_rate(self):
+        sc = tiny(n=6000, peak_rate=10.0, hold_fraction=0.2)
+        # Mean rate = peak * (1 + hold) / 2 = 6 req/s -> 1000 s.
+        assert sc.duration == pytest.approx(1000.0)
+
+    def test_at_fraction_scales_count_and_duration_together(self):
+        sc = FIG13_1M.at_fraction(0.02)
+        assert sc.n_requests == 20_000
+        assert sc.duration == pytest.approx(FIG13_1M.duration * 0.02)
+        assert sc.peak_rate == FIG13_1M.peak_rate  # utilization preserved
+
+    def test_at_fraction_identity(self):
+        assert FIG13_1M.at_fraction(1.0) is FIG13_1M
+
+    def test_at_fraction_validates(self):
+        with pytest.raises(ValueError):
+            FIG13_1M.at_fraction(0.0)
+        with pytest.raises(ValueError):
+            FIG13_1M.at_fraction(1.5)
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            tiny(prompt_range=(0, 4))
+        with pytest.raises(ValueError):
+            tiny(response_range=(8, 4))
+        with pytest.raises(ValueError):
+            tiny(peak_rate=0.0)
+
+
+class TestTrace:
+    def test_exact_count_and_sorted(self):
+        tr = scale_trace(tiny(), seed=0)
+        assert len(tr) == 2000
+        times = [r.arrival_time for r in tr]
+        assert times == sorted(times)
+        assert all(0.0 <= t < tiny().duration for t in times)
+
+    def test_deterministic_and_seed_sensitive(self):
+        a = scale_trace(tiny(), seed=7)
+        b = scale_trace(tiny(), seed=7)
+        c = scale_trace(tiny(), seed=8)
+        assert a == b
+        assert a != c
+
+    def test_lengths_within_bounds(self):
+        sc = tiny(prompt_range=(4, 24), response_range=(4, 16))
+        tr = scale_trace(sc, seed=1)
+        assert all(4 <= r.prompt_len <= 24 for r in tr)
+        assert all(4 <= r.response_len <= 16 for r in tr)
+
+    def test_request_ids_unique(self):
+        tr = scale_trace(tiny(n=500), seed=0)
+        assert len({r.request_id for r in tr}) == 500
+
+    def test_zipf_popularity_is_skewed(self):
+        tr = scale_trace(tiny(n=5000), seed=0)
+        counts = {}
+        for r in tr:
+            counts[r.lora_id] = counts.get(r.lora_id, 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        # Zipf-1.5 over 16 models: the head model dominates the tail.
+        assert ranked[0] > 5 * ranked[-1]
+        assert len(counts) <= 16
+
+    def test_ramp_shape_front_loaded_middle(self):
+        sc = tiny(n=20_000, hold_fraction=0.2)
+        tr = scale_trace(sc, seed=0)
+        times = np.array([r.arrival_time for r in tr])
+        d = sc.duration
+        edge = ((times < 0.1 * d) | (times > 0.9 * d)).mean()
+        middle = ((times > 0.4 * d) & (times < 0.6 * d)).mean()
+        # Trapezoid: the middle fifth holds peak rate, the outer fifths ramp.
+        assert middle > 2 * edge
+
+    def test_fraction_shrinks_self_similarly(self):
+        full = scale_trace(tiny(n=4000), seed=0)
+        frac = scale_trace(tiny(n=4000), fraction=0.25, seed=0)
+        assert len(frac) == 1000
+        assert frac.duration == pytest.approx(full.duration * 0.25, rel=0.1)
+
+    def test_fig13_1m_convenience_matches_scale_trace(self):
+        a = fig13_1m_trace(fraction=0.0005, seed=3)
+        b = scale_trace(FIG13_1M, fraction=0.0005, seed=3)
+        assert a == b
+        assert len(a) == 500
+
+    def test_round_trips_through_json(self):
+        from repro.workloads.trace import Trace
+
+        tr = scale_trace(tiny(n=200), seed=0)
+        assert Trace.from_json(tr.to_json()) == tr
