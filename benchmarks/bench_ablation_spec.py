@@ -1,0 +1,59 @@
+"""Ablation: speculative decoding ITL vs acceptance rate vs batch size.
+
+The same closed-loop decode workload runs with the speculative lane
+disarmed (baseline) and armed across a sweep of acceptance rates and
+batch sizes. The acceptance shape is the MagicDec trade-off curve: at
+high acceptance the multi-token bursts amortize the draft + verify
+overhead and inter-token latency drops well below the baseline; at low
+acceptance most drafts roll back and speculation loses; and the
+break-even acceptance rate climbs with batch size because the chunked
+verify grows with batch x (draft_len + 1) tokens while the baseline
+decode step grows only with batch.
+"""
+
+from repro.bench.spec_ablation import run_one, run_spec_ablation
+from repro.runtime.request import RequestState
+from repro.runtime.spec import SpecConfig
+
+
+def _by_batch(table):
+    """Group (acceptance, speedup) rows of the ablation table per batch."""
+    rows = {}
+    for batch, rate, _itl, _base, speedup, _acc, _rounds in table.rows:
+        rows.setdefault(batch, []).append((rate, speedup))
+    return rows
+
+
+def test_spec_ablation(benchmark, emit):
+    result, tracer = benchmark.pedantic(
+        lambda: run_one(0, 8, SpecConfig(draft_len=4, acceptance_rate=0.8)),
+        rounds=1,
+        iterations=1,
+    )
+    table = run_spec_ablation(seed=0)
+    emit(table)
+
+    # The timed armed run finishes every request to its response limit.
+    for req in result.requests:
+        assert req.state is RequestState.FINISHED
+        assert req.num_generated == req.spec.response_len
+
+    by_batch = _by_batch(table)
+    for batch, points in by_batch.items():
+        rates = [rate for rate, _ in points]
+        speedups = [speedup for _, speedup in points]
+        # Low acceptance loses: the round overhead outweighs the burst.
+        assert speedups[0] < 1.0, (batch, points)
+        # High acceptance wins: bursts amortize the draft + verify cost.
+        assert speedups[-1] > 1.0, (batch, points)
+        # Speedup is monotone in acceptance within a batch size (up to
+        # the discretization of rounds-per-request at small batches).
+        for lo, hi in zip(speedups, speedups[1:]):
+            assert hi >= lo - 0.01, (batch, points)
+        assert rates == sorted(rates)
+
+    # MagicDec: bigger batches make the verify chunk relatively more
+    # expensive, so high-acceptance speedup shrinks as batch grows.
+    batches = sorted(by_batch)
+    top_speedups = [by_batch[b][-1][1] for b in batches]
+    assert top_speedups == sorted(top_speedups, reverse=True), top_speedups

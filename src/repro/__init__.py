@@ -72,6 +72,7 @@ from repro.runtime import (
     Request,
     ServeResult,
     SimulatedBackend,
+    SpecConfig,
     requests_from_trace,
     serve_requests,
 )
@@ -119,6 +120,7 @@ __all__ = [
     "ShareGptLengths",
     "SimulatedBackend",
     "SimulationResult",
+    "SpecConfig",
     "StepWorkload",
     "TensorParallelConfig",
     "Trace",

@@ -62,6 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="trace size (default: quick scale)")
     _add_adapters_parser(sub)
     _add_disagg_parser(sub)
+    _add_spec_parser(sub)
     _add_faults_parser(sub)
     _add_trace_parser(sub)
     _add_perf_parser(sub)
@@ -114,6 +115,30 @@ def _add_disagg_parser(sub) -> None:
     disagg.add_argument("--out", type=pathlib.Path, default=None)
 
 
+def _positive_int(value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
+
+
+def _add_spec_parser(sub) -> None:
+    """The speculative-decoding subcommand (MagicDec trade-off ablation)."""
+    spec = sub.add_parser(
+        "spec",
+        help="speculative decoding: ITL vs acceptance rate vs batch ablation",
+    )
+    spec.add_argument("--seed", type=int, default=0, help="trace seed")
+    spec.add_argument(
+        "--draft-len", type=_positive_int, default=4,
+        help="draft tokens proposed per speculative round (default: 4)",
+    )
+    spec.add_argument("--out", type=pathlib.Path, default=None)
+
+
 def _add_faults_parser(sub) -> None:
     """The fault-injection subcommand (crash ablation on the cluster sim)."""
     faults = sub.add_parser(
@@ -135,7 +160,8 @@ def _add_trace_parser(sub) -> None:
     )
     trace.add_argument(
         "scenario", nargs="?", default="single_gpu",
-        choices=["single_gpu", "cluster_migration", "faults", "disagg", "serve"],
+        choices=["single_gpu", "cluster_migration", "faults", "disagg",
+                 "serve", "spec"],
         help="which seeded scenario to run (default: single_gpu)",
     )
     trace.add_argument("--seed", type=int, default=0,
@@ -328,6 +354,18 @@ def _run_disagg(args) -> int:
     return 0
 
 
+def _run_spec(args) -> int:
+    from repro.bench import run_spec_ablation
+
+    table = run_spec_ablation(seed=args.seed, draft_len=args.draft_len)
+    text = table.render()
+    print(text)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "spec.txt").write_text(text + "\n")
+    return 0
+
+
 def _run_faults(args) -> int:
     kwargs = {"seed": args.seed}
     if args.crash_time is not None:
@@ -466,6 +504,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _run_adapters(args)
     if args.command == "disagg":
         return _run_disagg(args)
+    if args.command == "spec":
+        return _run_spec(args)
     if args.command == "faults":
         return _run_faults(args)
     if args.command == "trace":

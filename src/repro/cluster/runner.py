@@ -75,8 +75,8 @@ class GpuRunner:
         report = self.engine.step(now)
         if report is None:
             return None
-        for rid, token in report.new_tokens.items():
-            self._emit(TokenChunk(request_id=rid, tokens=(token,), time=report.end))
+        for rid, tokens in report.committed_tokens().items():
+            self._emit(TokenChunk(request_id=rid, tokens=tokens, time=report.end))
         for rid in report.finished:
             self._emit(
                 RequestFinished(

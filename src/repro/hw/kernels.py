@@ -372,6 +372,53 @@ class KernelCostModel:
         t_memory = io / (spec.hbm_bandwidth * spec.attention_bandwidth_efficiency)
         return spec.kernel_launch_overhead + t_memory
 
+    def attention_verify(
+        self,
+        chunk_len: int,
+        past_len: int,
+        num_heads: int,
+        head_dim: int,
+        num_kv_heads: int | None = None,
+        flash: bool = True,
+    ) -> float:
+        """Chunked attention of a speculative verify: ``chunk_len`` query
+        tokens (the draft plus the bonus slot) attend causally over
+        ``past_len`` cached tokens plus the chunk itself.
+
+        This is the piece :meth:`attention_prefill` cannot price — a
+        prefill has no past, a verify is dominated by it: the K/V history
+        is streamed once per chunk (like decode) while the chunk's own
+        causal block adds the prefill-style quadratic term.
+        """
+        key = (
+            "attn_verify", chunk_len, past_len, num_heads, head_dim,
+            num_kv_heads, flash,
+        )
+        hit = self._memo_get(key)
+        if hit is not None:
+            return hit
+        if chunk_len <= 0:
+            raise ValueError(f"chunk_len must be positive, got {chunk_len}")
+        if past_len < 0:
+            raise ValueError(f"past_len must be nonnegative, got {past_len}")
+        spec = self.spec
+        kv_heads = num_kv_heads if num_kv_heads is not None else num_heads
+        total_keys = past_len + chunk_len
+        # Q@K^T and P@V over the full history, for every chunk query.
+        flop = 4.0 * chunk_len * total_keys * head_dim * num_heads
+        qo_io = 2.0 * chunk_len * num_heads * head_dim * FP16_BYTES
+        kv_io = 2.0 * total_keys * kv_heads * head_dim * FP16_BYTES
+        io = qo_io + kv_io
+        eff = spec.gemm_efficiency
+        if not flash:
+            io += 4.0 * chunk_len * total_keys * num_heads * FP16_BYTES
+            eff *= 0.6
+        t_compute = flop / (spec.peak_fp16_flops * eff)
+        t_memory = io / (spec.hbm_bandwidth * spec.attention_bandwidth_efficiency)
+        return self._memo_put(
+            key, spec.kernel_launch_overhead + max(t_compute, t_memory)
+        )
+
     def attention_decode_total(
         self,
         total_kv: float,

@@ -200,6 +200,33 @@ class PageAllocator:
         for _, _, sid in allocs:
             pages[sid].append(free.pop())
 
+    def truncate(self, seq_id: str, new_len: int) -> int:
+        """Shrink a sequence to ``new_len`` tokens; returns pages released.
+
+        The speculative-decode rollback path: rejected draft tokens give
+        their slots back, and any page left wholly past ``new_len``
+        returns to the free list. Freed pages re-enter the LIFO free list
+        newest-first (same discipline as :meth:`free`), so a subsequent
+        append reacquires the very pages just released — allocator state
+        after a reject/re-append cycle is indistinguishable from never
+        having speculated.
+        """
+        self._require(seq_id)
+        if new_len < 0:
+            raise ValueError(f"new_len must be nonnegative, got {new_len}")
+        cur = self._seq_len[seq_id]
+        if new_len > cur:
+            raise ValueError(
+                f"cannot truncate {seq_id!r} from {cur} to {new_len} tokens"
+            )
+        keep = pages_needed(new_len, self.page_size)
+        pages = self._pages[seq_id]
+        released = pages[keep:]
+        del pages[keep:]
+        self._seq_len[seq_id] = new_len
+        self._free.extend(reversed(released))
+        return len(released)
+
     def free(self, seq_id: str) -> int:
         """Release a sequence's pages; returns how many were freed."""
         self._require(seq_id)

@@ -81,6 +81,10 @@ class KvPool:
     def can_append_token(self, seq_id: str) -> bool:
         return self.allocator.can_append(seq_id, 1)
 
+    def truncate(self, seq_id: str, new_len: int) -> int:
+        """Roll a sequence back to ``new_len`` tokens; returns pages released."""
+        return self.allocator.truncate(seq_id, new_len)
+
     def free(self, seq_id: str) -> int:
         return self.allocator.free(seq_id)
 
@@ -142,6 +146,15 @@ class PagedKvData:
     def append_slot(self, seq_id: str) -> None:
         """Reserve space for one more token of an existing sequence."""
         self.allocator.append(seq_id, 1)
+
+    def truncate(self, seq_id: str, new_len: int) -> int:
+        """Roll back to ``new_len`` tokens: release the pages past it and
+        forget any K/V written beyond — :meth:`gather` never reads past
+        the written length, so stale slots in the kept tail page are
+        unobservable and get overwritten on the next append."""
+        released = self.allocator.truncate(seq_id, new_len)
+        self._lengths[seq_id] = min(self._lengths[seq_id], new_len)
+        return released
 
     def free(self, seq_id: str) -> None:
         self.allocator.free(seq_id)

@@ -402,6 +402,112 @@ def model_step_latency(
     return t
 
 
+def spec_verify_latency(
+    config: LlamaConfig,
+    kcm: KernelCostModel,
+    work: StepWorkload,
+    draft_len: int,
+    tp: TensorParallelConfig = SINGLE_GPU,
+    flags: PerfFlags = PUNICA_FLAGS,
+) -> float:
+    """Price the batched verify of one speculative round.
+
+    Every decode request submits a ``draft_len + 1``-token chunk (the
+    last committed token re-scored plus the drafts) in one target-model
+    invocation. The dense/LoRA side is exactly a short prefill of that
+    chunk per request — each LoRA segment widens by the chunk length —
+    while attention pays the piece a prefill does not have: streaming
+    each request's past KV under the chunk's causal block
+    (:meth:`~repro.hw.kernels.KernelCostModel.attention_verify`).
+    """
+    if work.prefill_lens:
+        raise ValueError("speculative verify prices an all-decode batch")
+    if draft_len < 1:
+        raise ValueError(f"draft_len must be >= 1, got {draft_len}")
+    chunk = draft_len + 1
+    segments = (
+        tuple(s * chunk for s in work.lora_segments)
+        if work.lora_segments is not None
+        else None
+    )
+    # Build the chunked workload via the prefill shape so the dense
+    # projections and LoRA segments price over chunk*batch tokens.
+    verify_work = StepWorkload(
+        prefill_lens=(chunk,) * len(work.decode_kv_lens),
+        decode_kv_lens=(),
+        lora_segments=segments,
+        lora_rank=work.lora_rank,
+    )
+    prefix_terms, tail_terms = _layer_terms(config, kcm, verify_work, tp, flags)
+    heads_shard = tp.shard_heads(config)
+    kv_heads_shard = tp.shard_kv_heads(config)
+    layer = 0.0
+    for term in prefix_terms:
+        layer += term
+    # _layer_terms priced each chunk as a fresh prefill (no past); swap in
+    # the verify kernel's past-aware cost by adding the difference term.
+    for past in work.decode_kv_lens:
+        layer += kcm.attention_verify(
+            chunk, past, heads_shard, config.head_dim, kv_heads_shard,
+            flash=flags.flash_attention,
+        )
+        layer -= kcm.attention_prefill(
+            chunk, heads_shard, config.head_dim, kv_heads_shard,
+            flash=flags.flash_attention,
+        )
+    for term in tail_terms:
+        layer += term
+    t = config.num_layers * layer
+    t += kcm.elementwise(verify_work.num_tokens * config.hidden_size * FP16_BYTES)
+    # Logits for every chunk position (each needs an accept/reject verdict).
+    t += kcm.gemm(
+        verify_work.num_tokens, config.vocab_size // tp.world_size,
+        config.hidden_size,
+    )
+    t += kcm.layernorm(fused=flags.fused_layernorm)
+    return t
+
+
+def spec_round_latency(
+    config: LlamaConfig,
+    kcm: KernelCostModel,
+    work: StepWorkload,
+    draft_len: int,
+    draft_cost_ratio: float,
+    tp: TensorParallelConfig = SINGLE_GPU,
+    flags: PerfFlags = PUNICA_FLAGS,
+) -> float:
+    """One full speculative round: ``draft_len`` cheap draft decode steps
+    plus the batched verify.
+
+    The draft model runs the bare backbone (no LoRA — adapters only
+    steer the verified output) at ``draft_cost_ratio`` of a target decode
+    step; its KvCache mirrors the target's and grows one token per draft
+    step. ``work`` must be the all-decode workload of the round's batch,
+    with ``decode_kv_lens`` holding each request's *past* KV length.
+    """
+    if work.prefill_lens:
+        raise ValueError("speculative rounds run on all-decode batches")
+    if not 0.0 < draft_cost_ratio <= 1.0:
+        raise ValueError(
+            f"draft_cost_ratio must be within (0, 1], got {draft_cost_ratio}"
+        )
+    total = 0.0
+    kv = work.decode_kv_lens
+    for k in range(draft_len):
+        draft_work = StepWorkload(
+            prefill_lens=(),
+            decode_kv_lens=tuple(l + k for l in kv),
+            lora_segments=None,
+            lora_rank=work.lora_rank,
+        )
+        total += draft_cost_ratio * model_step_latency(
+            config, kcm, draft_work, tp=tp, flags=flags
+        )
+    total += spec_verify_latency(config, kcm, work, draft_len, tp=tp, flags=flags)
+    return total
+
+
 def decode_step_workload(
     kv_lens: "list[int]",
     lora_segments: "list[int] | None" = None,

@@ -19,7 +19,10 @@ regimes:
   connections open through the :class:`~repro.serve.gateway.ServeGateway`
   (tight per-tenant limits so 429-style sheds fire), a seeded subset
   disconnects mid-stream (the cancel-propagation path), and the trace
-  carries the CONNECT/DISCONNECT lifecycle (docs/serving.md).
+  carries the CONNECT/DISCONNECT lifecycle (docs/serving.md);
+* ``spec`` — a single engine with the speculative decoding lane armed,
+  so the trace carries SPEC_DRAFT/SPEC_VERIFY/SPEC_ROLLBACK rounds and
+  multi-token decode bursts (docs/speculative.md).
 
 ``tests/test_trace_golden.py`` replays these against checked-in JSONL
 fixtures; ``repro trace`` runs them from the shell. Keep them small —
@@ -43,6 +46,7 @@ from repro.runtime.backend import SimulatedBackend
 from repro.runtime.engine import EngineConfig, GpuEngine
 from repro.runtime.request import Request
 from repro.runtime.serve import requests_from_trace, serve_requests
+from repro.runtime.spec import SpecConfig
 from repro.workloads.arrivals import PoissonArrivals, constant_rate
 from repro.workloads.lengths import ShareGptLengths
 from repro.workloads.trace import Trace, generate_trace
@@ -229,12 +233,36 @@ def run_serve(seed: int = 0, fast_path: "bool | None" = None) -> ScenarioResult:
     )
 
 
+def run_spec(seed: int = 0, fast_path: "bool | None" = None) -> ScenarioResult:
+    """Single engine with the speculative lane armed: once the staggered
+    prompt mix has prefilled, every pure-decode invocation becomes a
+    draft/verify round — SPEC_DRAFT per round, SPEC_VERIFY and a
+    multi-token DECODE_STEP burst per request, and SPEC_ROLLBACK whenever
+    the geometric acceptance model rejects draft tokens and their KV
+    slots roll back (docs/speculative.md)."""
+    trace = _open_loop(seed, rate=2.0, duration=8.0)
+    requests = requests_from_trace(trace)
+    tracer = Tracer()
+    engine = GpuEngine(
+        "gpu00",
+        SimulatedBackend(LLAMA2_7B, fast_path=fast_path),
+        EngineConfig(
+            max_batch_size=8,
+            spec=SpecConfig(draft_len=4, acceptance_rate=0.7, seed=seed),
+        ),
+        fast_path=fast_path,
+    )
+    serve_requests(engine, requests, tracer=tracer)
+    return ScenarioResult("spec", tracer, requests, metrics=None)
+
+
 SCENARIOS: "dict[str, Callable[..., ScenarioResult]]" = {
     "single_gpu": run_single_gpu,
     "cluster_migration": run_cluster_migration,
     "faults": run_faults,
     "disagg": run_disagg,
     "serve": run_serve,
+    "spec": run_spec,
 }
 
 

@@ -3,7 +3,8 @@
 Every component of the serving stack emits typed, timestamped
 :class:`TraceEvent` records into one :class:`Tracer`: the cluster
 simulator stamps SUBMIT/SHED, the scheduler QUEUE/MIGRATE, the engine
-PLACE/PREFILL/DECODE_STEP/FINISH, the fault injector FAULT, the frontend
+PLACE/PREFILL/DECODE_STEP/FINISH (plus SPEC_DRAFT/SPEC_VERIFY/
+SPEC_ROLLBACK when the speculative lane is armed), the fault injector FAULT, the frontend
 CANCEL, the adapter store ADAPTER_LOAD, the disaggregated serving
 layer KV_TRANSFER_START/KV_TRANSFER_DONE, and the async serving frontend
 CONNECT/DISCONNECT (plus SHED for door rejections). Timestamps come from the
@@ -56,6 +57,15 @@ class EventKind(enum.Enum):
     cause = served | client | shed; request_id is None)."""
     FAULT = "FAULT"
     """Injected fault fired (attrs: fault, applied; request_id is None)."""
+    SPEC_DRAFT = "SPEC_DRAFT"
+    """Speculative round drafted tokens for a decode batch (time = round
+    end; attrs: start, batch, draft_len; request_id is None)."""
+    SPEC_VERIFY = "SPEC_VERIFY"
+    """One request's draft verified against the target model (attrs:
+    start, proposed, accepted, committed)."""
+    SPEC_ROLLBACK = "SPEC_ROLLBACK"
+    """Rejected draft tokens released their KV slots (attrs: tokens,
+    pages — both counts of what was rolled back)."""
     CANCEL = "CANCEL"
     """Request cancelled (attrs: reason = user | deadline)."""
     FINISH = "FINISH"

@@ -10,8 +10,14 @@ model at 7B/13B/70B scale, :class:`NumpyBackend` really generates tokens
 with the toy functional Llama.
 """
 
-from repro.runtime.backend import NumpyBackend, SimulatedBackend, StepExecution
+from repro.runtime.backend import (
+    NumpyBackend,
+    SimulatedBackend,
+    SpecExecution,
+    StepExecution,
+)
 from repro.runtime.engine import EngineConfig, GpuEngine, StepReport
+from repro.runtime.spec import SpecConfig
 from repro.runtime.layered_loading import (
     LayeredTransferPlan,
     pipelined_prefill_finish,
@@ -42,6 +48,8 @@ __all__ = [
     "RequestState",
     "ServeResult",
     "SimulatedBackend",
+    "SpecConfig",
+    "SpecExecution",
     "StepExecution",
     "StepReport",
     "TemperatureSampler",

@@ -14,12 +14,13 @@ per request:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from collections.abc import Mapping
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.batch import BatchPlan
+from repro.core.batch import BatchEntry, BatchPlan, plan_batch
 from repro.core.lora import LoraRegistry
 from repro.hw.kernels import KernelCostModel
 from repro.hw.spec import A100_80G, GpuSpec
@@ -31,6 +32,7 @@ from repro.models.perf import (
     PerfFlags,
     StepWorkload,
     model_step_latency,
+    spec_round_latency,
     step_latency_from_terms,
     step_latency_steady,
     step_latency_steady_run,
@@ -43,6 +45,11 @@ from repro.runtime.sampler import GreedySampler
 from repro.utils.fastpath import fastpath_enabled
 from repro.utils.units import GIB
 
+if TYPE_CHECKING:
+    import random
+
+    from repro.runtime.spec import SpecConfig
+
 
 @dataclass(frozen=True)
 class StepExecution:
@@ -51,6 +58,20 @@ class StepExecution:
     latency: float
     tokens: dict[str, int]
     """request_id -> the one token this invocation produced for it."""
+
+
+@dataclass(frozen=True)
+class SpecExecution:
+    """Result of one speculative draft/verify round (docs/speculative.md)."""
+
+    latency: float
+    committed: dict[str, tuple[int, ...]]
+    """request_id -> the 1..draft_len+1 tokens the round committed for it
+    (accepted drafts plus the target's bonus/correction token)."""
+    accepted: dict[str, int]
+    """request_id -> accepted draft-token count (``len(committed) - 1``)."""
+    proposed: int
+    """Draft tokens proposed per request this round (= ``spec.draft_len``)."""
 
 
 def workload_from_plan(
@@ -194,6 +215,31 @@ class SimulatedBackend:
             return
         self.kv.allocator.append_tokens(request_ids)
 
+    def kv_can_append_n(self, request_id: str, n: int) -> bool:
+        """Whether ``n`` more KV slots fit this sequence (spec reservation)."""
+        if self.pool is not None:
+            # Conservative under the shared byte budget: each appended
+            # token consumes at most one fresh page.
+            return self.pool.kv_free_tokens() >= n * self.kv.page_size
+        return self.kv.allocator.can_append(request_id, n)
+
+    def kv_append_n(self, request_id: str, n: int) -> None:
+        if self.pool is not None:
+            for _ in range(n):
+                self.pool.kv_append(request_id)
+            return
+        self.kv.allocator.append(request_id, n)
+
+    def kv_truncate(self, request_id: str, new_len: int) -> int:
+        """Roll a sequence back to ``new_len`` KV slots; returns pages freed.
+
+        With a unified pool the truncate still lands on the shared
+        allocator (``self.kv`` *is* ``pool.kv``) and the pool's byte
+        accounting reads allocator state live, so freed pages return to
+        the shared budget immediately.
+        """
+        return self.kv.truncate(request_id, new_len)
+
     def kv_release(self, request_id: str) -> None:
         if self.pool is not None:
             self.pool.kv_release(request_id)
@@ -261,6 +307,56 @@ class SimulatedBackend:
             self._token_counter += 1
             tokens[entry.request_id] = self._token_counter
         return StepExecution(latency=latency + self.step_overhead, tokens=tokens)
+
+    def execute_spec(
+        self,
+        plan: BatchPlan,
+        past_lens: Mapping[str, int],
+        spec: "SpecConfig",
+        rng: "random.Random",
+        requests: Mapping[str, Request] | None = None,
+    ) -> SpecExecution:
+        """One speculative draft/verify round over an all-decode plan.
+
+        Pricing goes through :func:`~repro.models.perf.spec_round_latency`
+        on both the fast and reference paths — the round has no per-plan
+        term cache, so armed runs are trivially float-identical across
+        paths. Acceptance counts come from a geometric model at
+        ``spec.acceptance_rate`` using the engine-owned ``rng`` (seeded
+        per GPU), drawn in plan decode order so replays are deterministic.
+        ``past_lens`` holds the pre-reservation KV lengths (``T - 1``),
+        exactly what a non-speculative decode step would see.
+        """
+        work = workload_from_plan(plan, past_lens, self.serve_lora, self.lora_rank)
+        latency = spec_round_latency(
+            self.config,
+            self.cost_model,
+            work,
+            spec.draft_len,
+            spec.draft_cost_ratio,
+            tp=self.tp,
+            flags=self.flags,
+        )
+        committed: dict[str, tuple[int, ...]] = {}
+        accepted: dict[str, int] = {}
+        counter = self._token_counter
+        for rid in plan.derived["workload"][1]:
+            m = 0
+            while m < spec.draft_len and rng.random() < spec.acceptance_rate:
+                m += 1
+            toks = []
+            for _ in range(m + 1):
+                counter += 1
+                toks.append(counter)
+            committed[rid] = tuple(toks)
+            accepted[rid] = m
+        self._token_counter = counter
+        return SpecExecution(
+            latency=latency + self.step_overhead,
+            committed=committed,
+            accepted=accepted,
+            proposed=spec.draft_len,
+        )
 
     def execute_steady(
         self,
@@ -476,6 +572,10 @@ class NumpyBackend:
             dtype=np.float64,
         )
         self.model = LlamaModel(weights, self.kv_data, registry)
+        self._draft_model: LlamaModel | None = None
+        self._draft_kv: PagedKvData | None = None
+        self._draft_synced: dict[str, int] = {}
+        """request_id -> tokens of committed history in the draft cache."""
 
     # -- KvCache interface ------------------------------------------------
     def kv_can_admit(self, prompt_len: int, headroom_tokens: int = 0) -> bool:
@@ -494,9 +594,35 @@ class NumpyBackend:
         for rid in request_ids:
             self.kv_data.append_slot(rid)
 
+    def kv_can_append_n(self, request_id: str, n: int) -> bool:
+        return self.kv_data.allocator.can_append(request_id, n)
+
+    def kv_append_n(self, request_id: str, n: int) -> None:
+        self.kv_data.allocator.append(request_id, n)
+
+    def kv_truncate(self, request_id: str, new_len: int) -> int:
+        released = self.kv_data.truncate(request_id, new_len)
+        # The draft cache may hold entries past the new committed length
+        # (e.g. the engine clipped a round at the response limit); drop
+        # them so the next round's catch-up starts from real history.
+        if (
+            self._draft_kv is not None
+            and request_id in self._draft_kv.allocator
+            and self._draft_synced.get(request_id, 0) > new_len
+        ):
+            self._draft_kv.truncate(request_id, new_len)
+            self._draft_synced[request_id] = new_len
+        return released
+
     def kv_release(self, request_id: str) -> None:
         if request_id in self.kv_data.allocator:
             self.kv_data.free(request_id)
+        self._drop_draft(request_id)
+
+    def _drop_draft(self, request_id: str) -> None:
+        if self._draft_kv is not None and request_id in self._draft_kv.allocator:
+            self._draft_kv.free(request_id)
+            self._draft_synced.pop(request_id, None)
 
     def kv_free_tokens(self) -> int:
         return self.kv_data.allocator.free_pages * self.kv_data.page_size
@@ -511,6 +637,7 @@ class NumpyBackend:
     def kv_export(self, request_id: str) -> int:
         tokens = self.kv_data.allocator.seq_len(request_id)
         self.kv_data.free(request_id)
+        self._drop_draft(request_id)
         return tokens
 
     def kv_can_import(self, num_tokens: int, headroom_tokens: int = 0) -> bool:
@@ -570,3 +697,162 @@ class NumpyBackend:
         else:
             latency = 0.0
         return StepExecution(latency=latency + self.step_overhead, tokens=tokens)
+
+    # -- speculative decoding ---------------------------------------------
+    def _ensure_draft(self, spec: "SpecConfig") -> None:
+        """Lazily build the truncated-layer draft model (docs/speculative.md).
+
+        The draft shares the target's embedding, first ``k`` transformer
+        layers, final norm and LM head — a self-drafting proxy — and owns
+        a KvCache of the same page geometry. It never sees LoRA
+        (``registry=None``): drafts only *propose*; verification is what
+        must match the adapter-specific target distribution.
+        """
+        if self._draft_model is not None:
+            return
+        cfg = self.config
+        k = (
+            spec.draft_layers
+            if spec.draft_layers is not None
+            else max(1, cfg.num_layers // 2)
+        )
+        k = min(k, cfg.num_layers)
+        draft_cfg = replace(cfg, name=f"{cfg.name}-draft", num_layers=k)
+        w = self.model.weights
+        draft_weights = LlamaWeights(
+            config=draft_cfg,
+            embedding=w.embedding,
+            layers=w.layers[:k],
+            final_norm=w.final_norm,
+            lm_head=w.lm_head,
+        )
+        # Same page count as the target: the draft caches strictly fewer
+        # slots per sequence (no +draft_len+1 reservation), so a round
+        # that fit the target cannot exhaust the draft pool.
+        self._draft_kv = PagedKvData(
+            total_pages=self.kv_data.allocator.total_pages,
+            page_size=self.kv_data.page_size,
+            num_layers=k,
+            num_kv_heads=cfg.num_kv_heads,
+            head_dim=cfg.head_dim,
+            dtype=np.float64,
+        )
+        self._draft_model = LlamaModel(draft_weights, self._draft_kv, None)
+
+    def _forward_one(
+        self, model: LlamaModel, rid: str, lora_id: str | None, toks, past: int
+    ):
+        """Single-entry forward of ``toks`` with ``past`` cached tokens.
+
+        Returns the last position's logits. Single-token invocations use
+        the decode entry shape — the same plan shape a non-speculative
+        decode step of batch size one would build, which is what makes
+        verification bit-comparable to the greedy baseline.
+        """
+        entry = BatchEntry(
+            request_id=rid,
+            lora_id=lora_id,
+            num_tokens=len(toks),
+            is_prefill=len(toks) > 1,
+        )
+        plan = plan_batch([entry])
+        batch = TokenBatch(plan, np.asarray(toks, dtype=np.int64), (past,))
+        return model.forward(batch)[0]
+
+    def execute_spec(
+        self,
+        plan: BatchPlan,
+        past_lens: Mapping[str, int],
+        spec: "SpecConfig",
+        rng: "random.Random",
+        requests: Mapping[str, Request] | None = None,
+    ) -> SpecExecution:
+        """Real draft-then-verify round (``acceptance_rate`` is ignored).
+
+        Per request: sync the draft cache to committed history, draft
+        ``draft_len`` tokens autoregressively, then verify sequentially
+        on the target — position ``j`` forwards the previous committed
+        token and samples; the sampled token commits, and the round stops
+        at the first draft mismatch. Because every verify forward sees
+        exactly the KV state the greedy baseline's decode step ``j``
+        would see, the committed stream is token-identical to
+        non-speculative greedy decoding (tests/test_spec_oracle.py).
+        """
+        if requests is None:
+            raise ValueError("NumpyBackend.execute_spec needs the request objects")
+        self._ensure_draft(spec)
+        draft_alloc = self._draft_kv.allocator
+        d = spec.draft_len
+        committed: dict[str, tuple[int, ...]] = {}
+        accepted: dict[str, int] = {}
+        for entry in plan.decode_entries():
+            rid = entry.request_id
+            req = requests[rid]
+            toks = list(req.prompt_tokens) + list(req.generated_tokens)
+            past = past_lens[rid]
+            if past != len(toks) - 1:
+                raise ValueError(
+                    f"spec round for {rid}: past {past} != committed "
+                    f"history {len(toks)} - 1"
+                )
+            sampler = req.sampler if req.sampler is not None else self.sampler
+            # Sync the draft cache: positions [0, past) hold history up
+            # to toks[past-1]; toks[past] seeds the first draft step.
+            if rid not in draft_alloc:
+                self._draft_kv.allocate(rid, past)
+                self._draft_synced[rid] = 0
+            synced = self._draft_synced[rid]
+            if synced > past:  # safety net; kv_truncate normally handles this
+                self._draft_kv.truncate(rid, past)
+                synced = past
+            if synced < past:
+                need = past - draft_alloc.seq_len(rid)
+                if need > 0:
+                    draft_alloc.append(rid, need)
+                self._forward_one(
+                    self._draft_model, rid, entry.lora_id, toks[synced:past], synced
+                )
+            # Draft d tokens; step i writes its input at position past + i.
+            drafts: list[int] = []
+            cur = toks[past]
+            for i in range(d):
+                pos = past + i
+                if draft_alloc.seq_len(rid) < pos + 1:
+                    draft_alloc.append(rid, pos + 1 - draft_alloc.seq_len(rid))
+                logits = self._forward_one(
+                    self._draft_model, rid, entry.lora_id, [cur], pos
+                )
+                cur = sampler.sample(logits)
+                drafts.append(cur)
+            # Sequential verify on the target: the engine reserved d + 1
+            # slots, so position past + j is writable for j in [0, d].
+            out: list[int] = []
+            v = toks[past]
+            for j in range(d + 1):
+                logits = self._forward_one(self.model, rid, entry.lora_id, [v], past + j)
+                tok = sampler.sample(logits)
+                out.append(tok)
+                if j == d or tok != drafts[j]:
+                    break
+                v = drafts[j]
+            committed[rid] = tuple(out)
+            accepted[rid] = len(out) - 1
+            # Keep only the draft-cache prefix that is committed history:
+            # positions [0, past] plus accepted drafts still on the path.
+            keep = past + 1 + min(len(out) - 1, d - 1)
+            self._draft_kv.truncate(rid, keep)
+            self._draft_synced[rid] = keep
+
+        if self.cost_model is not None:
+            work = workload_from_plan(plan, past_lens, self.serve_lora, self.lora_rank)
+            latency = spec_round_latency(
+                self.config, self.cost_model, work, d, spec.draft_cost_ratio
+            )
+        else:
+            latency = 0.0
+        return SpecExecution(
+            latency=latency + self.step_overhead,
+            committed=committed,
+            accepted=accepted,
+            proposed=d,
+        )

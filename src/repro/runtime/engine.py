@@ -19,6 +19,7 @@ under simple closed-loop drivers.
 from __future__ import annotations
 
 import heapq
+import random
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,6 +34,7 @@ from repro.core.batch import (
 from repro.obs.tracer import EventKind, Tracer
 from repro.runtime.loader import LoraLoader
 from repro.runtime.request import Request, RequestState
+from repro.runtime.spec import SpecConfig
 from repro.utils.fastpath import fastpath_enabled
 
 
@@ -50,6 +52,10 @@ class EngineConfig:
     """Functional mode's end-of-sequence stopping condition."""
     admission_headroom_tokens: int = 0
     """Extra free KvCache tokens required before admitting a new request."""
+    spec: "SpecConfig | None" = None
+    """Arm the speculative decoding lane (docs/speculative.md): pure-decode
+    invocations become draft/verify rounds committing 1..draft_len+1
+    tokens per request; steps with pending work take the classic path."""
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -78,6 +84,10 @@ class StepReport:
     new_tokens: dict[str, int]
     finished: tuple[str, ...]
     evicted: tuple[str, ...]
+    committed: "dict[str, tuple[int, ...]] | None" = None
+    """Speculative rounds only: every token each request committed this
+    step, in order (``new_tokens`` then holds the last of each). ``None``
+    on classic steps, where each request commits exactly one token."""
 
     @property
     def end(self) -> float:
@@ -85,7 +95,15 @@ class StepReport:
 
     @property
     def tokens_generated(self) -> int:
+        if self.committed is not None:
+            return sum(len(toks) for toks in self.committed.values())
         return len(self.new_tokens)
+
+    def committed_tokens(self) -> "dict[str, tuple[int, ...]]":
+        """Tokens committed per request this step (singletons off-spec)."""
+        if self.committed is not None:
+            return self.committed
+        return {rid: (tok,) for rid, tok in self.new_tokens.items()}
 
 
 @dataclass
@@ -134,8 +152,28 @@ class GpuEngine:
         self._admit_seq = 0
         self.fast_path = fastpath_enabled(fast_path)
         self._plan_cache = PlanCache() if self.fast_path else None
-        self._steady_ok = self.fast_path and getattr(
-            backend, "supports_steady", False
+        self._spec = self.config.spec
+        if self._spec is not None and not hasattr(backend, "execute_spec"):
+            raise ValueError(
+                f"{gpu_id}: speculative decoding is armed but backend "
+                f"{type(backend).__name__} has no execute_spec"
+            )
+        self._spec_rng = (
+            random.Random(f"{self._spec.seed}:{gpu_id}")
+            if self._spec is not None
+            else None
+        )
+        """Acceptance RNG of the simulated backend's geometric model —
+        engine-owned so the fast and reference paths consume identical
+        draws (the backend has no per-path state of its own)."""
+        self.spec_rounds = 0
+        """Speculative rounds run (diagnostic, like ``fast_steps``)."""
+        # The steady lane assumes one token per request per step; armed
+        # engines always take the spec round instead.
+        self._steady_ok = (
+            self.fast_path
+            and getattr(backend, "supports_steady", False)
+            and self._spec is None
         )
         # Steady-state decode cache: valid while the batch membership is
         # unchanged and nothing is pending. ``_steady_plan is None`` means
@@ -436,6 +474,8 @@ class GpuEngine:
         self.loader.advance(now)
         if self._num_importing:
             self._promote_imports(now)
+        if self._spec is not None and not self._pending and self._working_order:
+            return self._step_spec(now)
         self.slow_steps += 1
         # Reserve one new KvCache slot per decode request FIRST (evicting
         # newest requests on pressure), so prefill admission below can only
@@ -562,6 +602,189 @@ class GpuEngine:
             finished=tuple(finished),
             evicted=tuple(evicted),
         )
+
+    def _step_spec(self, now: float) -> "StepReport | None":
+        """One speculative draft/verify round over the pure-decode batch.
+
+        Reserves ``draft_len + 1`` KvCache slots per request up front
+        (evicting newest requests under pressure, exactly like the classic
+        path's single-slot reservation), runs the backend round, commits
+        each request's accepted tokens, then rolls the rejected slots back
+        via ``kv_truncate`` — the allocator's LIFO free list means the
+        next round's reservation reacquires the same pages, so a rejected
+        draft leaves no footprint in page assignment.
+        """
+        spec = self._spec
+        reserve = spec.max_tokens_per_round
+        self.slow_steps += 1
+        evicted: list[str] = []
+        decode_slots: list[_Slot] = []
+        past_lens: dict[str, int] = {}
+        appended: set[str] = set()
+        for slot in list(self._working_order):
+            req = slot.request
+            rid = req.request_id
+            if rid not in self._working:  # evicted as a victim earlier
+                continue
+            if not self._append_n_with_eviction(rid, reserve, appended, evicted):
+                continue  # this request itself was evicted
+            appended.add(rid)
+            past_lens[rid] = req.kv_len
+            decode_slots.append(slot)
+
+        if self.tracer is not None:
+            for rid in evicted:
+                self.tracer.emit(
+                    now, EventKind.QUEUE, rid, self.gpu_id, reason="evicted"
+                )
+
+        if not decode_slots:
+            if evicted:
+                return StepReport(
+                    gpu_id=self.gpu_id, start=now, latency=0.0, batch_size=0,
+                    num_prefill=0, num_decode=0, num_lora_segments=0,
+                    new_tokens={}, finished=(), evicted=tuple(evicted),
+                )
+            return None
+
+        entries = [
+            BatchEntry(
+                request_id=slot.request.request_id,
+                lora_id=slot.request.lora_id,
+                num_tokens=1,
+                is_prefill=False,
+            )
+            for slot in decode_slots
+        ]
+        if self._plan_cache is not None:
+            plan = self._plan_cache.plan(entries)
+        else:
+            plan = plan_batch(entries)
+        requests = {s.request.request_id: s.request for s in decode_slots}
+        execution = self.backend.execute_spec(
+            plan, past_lens, spec, self._spec_rng, requests=requests
+        )
+        latency = execution.latency * self.slowdown_factor
+        end = now + latency
+        self.spec_rounds += 1
+
+        finished: list[str] = []
+        committed: dict[str, tuple[int, ...]] = {}
+        rollbacks: "list[tuple[str, int, int]]" = []
+        for slot in decode_slots:
+            req = slot.request
+            rid = req.request_id
+            kept: list[int] = []
+            for tok in execution.committed[rid]:
+                kept.append(tok)
+                req.record_token(tok, end)
+                if self._is_finished(req, tok):
+                    finished.append(rid)
+                    break
+            committed[rid] = tuple(kept)
+            # kv_len stays tokens - 1 during decode: the round's inputs
+            # occupied slots [past, past + len(kept)), the last committed
+            # token's KV lands next round.
+            new_kv = past_lens[rid] + len(kept)
+            released_pages = self.backend.kv_truncate(rid, new_kv)
+            released_tokens = past_lens[rid] + reserve - new_kv
+            req.kv_len = new_kv
+            if released_tokens:
+                rollbacks.append((rid, released_tokens, released_pages))
+
+        for rid in finished:
+            slot = self._working.pop(rid)
+            self._working_order.remove(slot)
+            self.backend.kv_release(rid)
+            self.loader.release(slot.request.lora_id)
+            slot.request.mark_finished(end)
+
+        if self.tracer is not None:
+            self._trace_spec(
+                now, end, decode_slots, committed, execution, rollbacks, finished
+            )
+
+        return StepReport(
+            gpu_id=self.gpu_id,
+            start=now,
+            latency=latency,
+            batch_size=len(decode_slots),
+            num_prefill=0,
+            num_decode=len(decode_slots),
+            num_lora_segments=plan.num_lora_segments,
+            new_tokens={rid: toks[-1] for rid, toks in committed.items()},
+            finished=tuple(finished),
+            evicted=tuple(evicted),
+            committed=committed,
+        )
+
+    def _append_n_with_eviction(
+        self, rid: str, n: int, appended: set[str], evicted: list[str]
+    ) -> bool:
+        """:meth:`_append_with_eviction` generalized to ``n`` slots — the
+        speculative round's up-front reservation. Returns False when
+        ``rid`` itself had to be evicted."""
+        while not self.backend.kv_can_append_n(rid, n):
+            victim = self._newest_evictable(exclude=appended)
+            if victim is None:
+                raise MemoryError(
+                    f"{self.gpu_id}: no evictable request can free "
+                    f"{n} KvCache slots for {rid}"
+                )
+            victim_id = victim.request.request_id
+            evicted.append(self._evict(victim))
+            if victim_id == rid:
+                return False
+        self.backend.kv_append_n(rid, n)
+        return True
+
+    def _trace_spec(
+        self,
+        now: float,
+        end: float,
+        decode_slots: "list[_Slot]",
+        committed: "dict[str, tuple[int, ...]]",
+        execution,
+        rollbacks: "list[tuple[str, int, int]]",
+        finished: "list[str]",
+    ) -> None:
+        """Emit one round's SPEC_DRAFT, then per request SPEC_VERIFY, one
+        DECODE_STEP per committed token, SPEC_ROLLBACK when slots were
+        released, and finally the FINISH events — all stamped at the round
+        end, like the classic path's step events."""
+        self.tracer.emit(
+            end, EventKind.SPEC_DRAFT, None, self.gpu_id,
+            start=now, batch=len(decode_slots), draft_len=execution.proposed,
+        )
+        rollback_of = {rid: (toks, pages) for rid, toks, pages in rollbacks}
+        for slot in decode_slots:
+            req = slot.request
+            rid = req.request_id
+            kept = committed[rid]
+            self.tracer.emit(
+                end, EventKind.SPEC_VERIFY, rid, self.gpu_id,
+                start=now, proposed=execution.proposed,
+                accepted=execution.accepted[rid], committed=len(kept),
+            )
+            base = req.num_generated - len(kept)
+            for i in range(len(kept)):
+                self.tracer.emit(
+                    end, EventKind.DECODE_STEP, rid, self.gpu_id,
+                    start=now, token_index=base + i,
+                )
+            rollback = rollback_of.get(rid)
+            if rollback is not None:
+                self.tracer.emit(
+                    end, EventKind.SPEC_ROLLBACK, rid, self.gpu_id,
+                    tokens=rollback[0], pages=rollback[1],
+                )
+        for rid in finished:
+            req = next(
+                s.request for s in decode_slots if s.request.request_id == rid
+            )
+            self.tracer.emit(
+                end, EventKind.FINISH, rid, self.gpu_id, tokens=req.num_generated
+            )
 
     def _step_steady(self, now: float) -> StepReport:
         """Steady-state decode lane: the batch is exactly last step's batch

@@ -141,10 +141,37 @@ class TestPerfSubcommand:
         assert "fig13_1m" in (tmp_path / "perf_gate.txt").read_text()
 
 
+class TestSpecSubcommand:
+    @pytest.mark.parametrize("bad", ["0", "-3", "banana"])
+    def test_bad_draft_len_rejected(self, bad):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["spec", "--draft-len", bad])
+
+    def test_ablation_table(self, tmp_path, capsys):
+        assert main(["spec", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "acceptance" in out and "speedup" in out
+        assert "break-even" in out
+        saved = tmp_path / "spec.txt"
+        assert saved.exists()
+        assert "baseline_itl_ms" in saved.read_text()
+
+    def test_trace_scenario(self, tmp_path, capsys):
+        trace_path = tmp_path / "spec.jsonl"
+        assert main(["trace", "spec", "--out", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario=spec" in out
+        text = trace_path.read_text()
+        assert "SPEC_DRAFT" in text
+        assert "SPEC_VERIFY" in text
+        assert "SPEC_ROLLBACK" in text
+
+
 class TestTraceScenarioChoices:
     def test_every_registered_scenario_is_a_choice(self):
         parser = build_parser()
-        for name in ("single_gpu", "cluster_migration", "faults", "disagg", "serve"):
+        for name in ("single_gpu", "cluster_migration", "faults", "disagg",
+                     "serve", "spec"):
             assert parser.parse_args(["trace", name]).scenario == name
 
     def test_unknown_scenario_rejected(self):

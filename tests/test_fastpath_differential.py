@@ -36,6 +36,7 @@ from repro.obs.tracer import Tracer
 from repro.runtime.backend import SimulatedBackend
 from repro.runtime.engine import EngineConfig, GpuEngine
 from repro.runtime.request import RequestState
+from repro.runtime.spec import SpecConfig
 from repro.workloads.arrivals import PoissonArrivals, constant_rate
 from repro.workloads.lengths import ShareGptLengths
 from repro.workloads.trace import generate_trace
@@ -97,6 +98,7 @@ def _build_and_run(
     cancel_picks,
     fault_plan,
     fast_path,
+    spec=None,
 ):
     trace = generate_trace(
         int(rate * duration) + 8,
@@ -117,7 +119,7 @@ def _build_and_run(
                     LLAMA2_7B, step_overhead=0.05, lora_rank=lora_rank,
                     fast_path=fast_path,
                 ),
-                EngineConfig(max_batch_size=max_batch),
+                EngineConfig(max_batch_size=max_batch, spec=spec),
                 fast_path=fast_path,
             )
             for i in range(num_gpus)
@@ -161,6 +163,14 @@ _FAULT_MENU = (
     FaultSpec(kind=FaultKind.GPU_CRASH, time=2.0),
 )
 
+# The speculative lane menu: disarmed, a rejection-heavy low-acceptance
+# draft (maximum rollback traffic), and a burst-heavy high-acceptance one.
+_SPEC_MENU = (
+    None,
+    SpecConfig(draft_len=2, acceptance_rate=0.2, seed=1),
+    SpecConfig(draft_len=4, acceptance_rate=0.9, seed=2),
+)
+
 
 class _Run:
     def __init__(self, tracer, result, summary):
@@ -190,10 +200,11 @@ class _Run:
         max_size=3,
     ),
     fault_subset=st.sets(st.integers(min_value=0, max_value=2), max_size=3),
+    spec=st.sampled_from(_SPEC_MENU),
 )
 def test_random_workload_differential(
     seed, num_gpus, max_batch, rate, duration, lora_rank, cancel_picks,
-    fault_subset,
+    fault_subset, spec,
 ):
     """Any generated workload replays byte-identically through both paths."""
     fault_plan = [_FAULT_MENU[i] for i in sorted(fault_subset)]
@@ -203,14 +214,19 @@ def test_random_workload_differential(
     kwargs = dict(
         seed=seed, num_gpus=num_gpus, max_batch=max_batch, rate=rate,
         duration=duration, lora_rank=lora_rank, cancel_picks=cancel_picks,
-        fault_plan=fault_plan,
+        fault_plan=fault_plan, spec=spec,
     )
-    ftracer, fresult, fsummary, _ = _build_and_run(fast_path=True, **kwargs)
-    rtracer, rresult, rsummary, _ = _build_and_run(fast_path=False, **kwargs)
+    ftracer, fresult, fsummary, fsim = _build_and_run(fast_path=True, **kwargs)
+    rtracer, rresult, rsummary, rsim = _build_and_run(fast_path=False, **kwargs)
     assert fsummary == rsummary
     _assert_equivalent(
         _Run(ftracer, fresult, fsummary), _Run(rtracer, rresult, rsummary)
     )
+    # Page accounting returns to baseline on both paths: rejected drafts,
+    # cancels and crashes may not leak a single KvCache page.
+    for sim in (fsim, rsim):
+        for engine in sim.scheduler.engines.values():
+            assert engine.backend.kv.allocator.used_pages == 0
 
 
 # ---------------------------------------------------------------------------
@@ -292,6 +308,7 @@ def _build_composed(
     fault_plan,
     serve_frontend,
     fast_path,
+    spec=None,
 ):
     from repro.cluster.disagg import DisaggConfig, DisaggSimulator
 
@@ -312,7 +329,7 @@ def _build_composed(
                     LLAMA2_7B, step_overhead=0.05, lora_rank=lora_rank,
                     fast_path=fast_path,
                 ),
-                EngineConfig(max_batch_size=max_batch),
+                EngineConfig(max_batch_size=max_batch, spec=spec),
                 fast_path=fast_path,
             )
             for i in ids
@@ -408,10 +425,11 @@ def _assert_composed_equivalent(fast, ref):
         max_size=10,
     ),
     fault_subset=st.sets(st.integers(min_value=0, max_value=2), max_size=3),
+    spec=st.sampled_from(_SPEC_MENU),
 )
 def test_composed_untraced_differential(
     seed, topology, serve_frontend, num_gpus, max_batch, rate, duration,
-    lora_rank, storm_picks, fault_subset,
+    lora_rank, storm_picks, fault_subset, spec,
 ):
     """Disagg pools x faults x cancellation storms x serve admission,
     untraced so the cross-engine vector merge lane is armed: both paths
@@ -429,7 +447,7 @@ def test_composed_untraced_differential(
         seed=seed, topology=topology, num_gpus=num_gpus, max_batch=max_batch,
         rate=rate, duration=duration, lora_rank=lora_rank,
         storm_picks=storm_picks, fault_plan=fault_plan,
-        serve_frontend=serve_frontend,
+        serve_frontend=serve_frontend, spec=spec,
     )
     fast = _build_composed(fast_path=True, **kwargs)
     ref = _build_composed(fast_path=False, **kwargs)
@@ -487,6 +505,23 @@ def test_fast_lanes_engage():
     assert sum(e.slow_steps for e in engines) > 0
     assert sim.inline_steps > 0
     assert any(e._plan_cache.hits + e._plan_cache.misses > 0 for e in engines)
+
+
+def test_spec_lane_engages_in_differential_workloads():
+    """The canary for the spec dimension: an armed workload from the
+    Hypothesis menu must actually run speculative rounds on both paths —
+    otherwise the spec x faults x cancellation sweep is vacuous."""
+    kwargs = dict(
+        seed=9, num_gpus=2, max_batch=4, rate=8.0, duration=2.0,
+        lora_rank=16, cancel_picks=[(3, 0.2)], fault_plan=[_FAULT_MENU[0]],
+        spec=_SPEC_MENU[1],
+    )
+    for fast_path in (True, False):
+        _, _, _, sim = _build_and_run(fast_path=fast_path, **kwargs)
+        engines = list(sim.scheduler.engines.values())
+        assert sum(e.spec_rounds for e in engines) > 0
+        # Armed engines never take the one-token steady lane.
+        assert all(e.fast_steps == 0 for e in engines)
 
 
 def test_reference_path_never_engages_fast_lanes():

@@ -25,7 +25,9 @@ from repro.obs import compute_breakdowns, run_scenario
 from repro.obs.tracer import EventKind, TERMINAL_KINDS
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
-SCENARIO_NAMES = ("single_gpu", "cluster_migration", "faults", "disagg", "serve")
+SCENARIO_NAMES = (
+    "single_gpu", "cluster_migration", "faults", "disagg", "serve", "spec"
+)
 REGOLD = os.environ.get("REPRO_REGOLD", "") not in ("", "0")
 
 # Every scenario must exercise the event kinds it was tuned to cover —
@@ -54,6 +56,11 @@ REQUIRED_KINDS = {
         EventKind.CONNECT, EventKind.DISCONNECT, EventKind.SHED,
         EventKind.SUBMIT, EventKind.PLACE, EventKind.PREFILL,
         EventKind.DECODE_STEP, EventKind.CANCEL, EventKind.FINISH,
+    },
+    "spec": {
+        EventKind.SUBMIT, EventKind.PLACE, EventKind.PREFILL,
+        EventKind.SPEC_DRAFT, EventKind.SPEC_VERIFY, EventKind.SPEC_ROLLBACK,
+        EventKind.DECODE_STEP, EventKind.FINISH,
     },
 }
 
