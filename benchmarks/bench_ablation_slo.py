@@ -1,0 +1,69 @@
+"""Ablation: SLO attainment vs fleet shape at equal dollar cost.
+
+Two fleets billing identically (4.0 $/hr with the HwSpec preset price
+list) — four A100-80Gs vs one H100 + one A100 + four L4s — serve the
+same prefill-heavy open loop past the homogeneous fleet's saturation
+knee, each under the FCFS pack rule and under the SLO-aware control
+plane. All four cells score against the same deadlines and a shed
+counts as a miss. The headline (cmp-gated in CI through ``repro slo``):
+deadline-headroom routing on the heterogeneous fleet beats FCFS on the
+homogeneous one at equal cost.
+"""
+
+from repro.bench.slo_ablation import (
+    FLEETS,
+    POLICY,
+    run_cell,
+    run_slo_ablation,
+)
+from repro.cluster.control import ControlConfig
+from repro.runtime.request import RequestState
+
+
+def _cells(table):
+    """(fleet, router) -> row dict keyed by header."""
+    headers = list(table.headers)
+    return {
+        (row[0], row[1]): dict(zip(headers, row)) for row in table.rows
+    }
+
+
+def test_slo_ablation(benchmark, emit):
+    control = ControlConfig(default_policy=POLICY)
+    result = benchmark.pedantic(
+        lambda: run_cell(0, FLEETS["hetero H100+A100+4xL4"], "slo", control),
+        rounds=1,
+        iterations=1,
+    )
+    table = run_slo_ablation(seed=0)
+    emit(table)
+
+    # The timed cell leaves no request in limbo: everything either
+    # finished or was shed with a terminal FAILED state.
+    for req in result.requests:
+        assert req.state in (RequestState.FINISHED, RequestState.FAILED)
+
+    cells = _cells(table)
+    assert len(cells) == 4
+
+    # Equal spend everywhere — the comparison is shape, not budget.
+    costs = {row["cost_hr"] for row in cells.values()}
+    assert costs == {4.0}, costs
+
+    # The gated claim: SLO routing on the heterogeneous fleet beats FCFS
+    # on the homogeneous fleet at the same dollar cost.
+    hetero_slo = cells[("hetero H100+A100+4xL4", "slo")]
+    homo_fcfs = cells[("homo 4xA100", "fcfs")]
+    assert hetero_slo["attainment"] > homo_fcfs["attainment"], (
+        hetero_slo, homo_fcfs,
+    )
+
+    # Within each fleet the SLO router dominates FCFS: deadline-aware
+    # placement plus shedding the hopeless tail beats head-blocking.
+    for fleet in FLEETS:
+        slo, fcfs = cells[(fleet, "slo")], cells[(fleet, "fcfs")]
+        assert slo["attainment"] > fcfs["attainment"], fleet
+        assert slo["p99_ttft_ms"] < fcfs["p99_ttft_ms"], fleet
+        # Only the SLO router sheds; FCFS queues everything forever.
+        assert slo["shed"] > 0, fleet
+        assert fcfs["shed"] == 0, fleet

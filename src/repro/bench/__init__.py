@@ -20,6 +20,7 @@ from repro.bench.fig12_tp70b import run_fig12
 from repro.bench.fig13_cluster import run_fig13
 from repro.bench.loader_bench import run_loader_bench
 from repro.bench.reporting import FigureTable
+from repro.bench.slo_ablation import run_slo_ablation
 from repro.bench.spec_ablation import run_spec_ablation
 
 __all__ = [
@@ -36,5 +37,6 @@ __all__ = [
     "run_fig12",
     "run_fig13",
     "run_loader_bench",
+    "run_slo_ablation",
     "run_spec_ablation",
 ]

@@ -63,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_adapters_parser(sub)
     _add_disagg_parser(sub)
     _add_spec_parser(sub)
+    _add_slo_parser(sub)
     _add_faults_parser(sub)
     _add_trace_parser(sub)
     _add_perf_parser(sub)
@@ -139,6 +140,21 @@ def _add_spec_parser(sub) -> None:
     spec.add_argument("--out", type=pathlib.Path, default=None)
 
 
+def _add_slo_parser(sub) -> None:
+    """The SLO control-plane subcommand (fleet-shape ablation)."""
+    slo = sub.add_parser(
+        "slo",
+        help="SLO attainment vs fleet shape at equal cost (control plane)",
+    )
+    slo.add_argument("--seed", type=int, default=0, help="trace seed")
+    slo.add_argument("--ttft-deadline", type=float, default=None,
+                     help="TTFT deadline in seconds (default: 0.3)")
+    slo.add_argument("--itl-deadline", type=float, default=None,
+                     help="mean inter-token deadline in seconds "
+                          "(default: 0.12)")
+    slo.add_argument("--out", type=pathlib.Path, default=None)
+
+
 def _add_faults_parser(sub) -> None:
     """The fault-injection subcommand (crash ablation on the cluster sim)."""
     faults = sub.add_parser(
@@ -161,7 +177,7 @@ def _add_trace_parser(sub) -> None:
     trace.add_argument(
         "scenario", nargs="?", default="single_gpu",
         choices=["single_gpu", "cluster_migration", "faults", "disagg",
-                 "serve", "spec"],
+                 "serve", "spec", "slo"],
         help="which seeded scenario to run (default: single_gpu)",
     )
     trace.add_argument("--seed", type=int, default=0,
@@ -366,6 +382,23 @@ def _run_spec(args) -> int:
     return 0
 
 
+def _run_slo(args) -> int:
+    from repro.bench import run_slo_ablation
+
+    kwargs = {"seed": args.seed}
+    if args.ttft_deadline is not None:
+        kwargs["ttft_deadline"] = args.ttft_deadline
+    if args.itl_deadline is not None:
+        kwargs["itl_deadline"] = args.itl_deadline
+    table = run_slo_ablation(**kwargs)
+    text = table.render()
+    print(text)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "slo.txt").write_text(text + "\n")
+    return 0
+
+
 def _run_faults(args) -> int:
     kwargs = {"seed": args.seed}
     if args.crash_time is not None:
@@ -506,6 +539,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _run_disagg(args)
     if args.command == "spec":
         return _run_spec(args)
+    if args.command == "slo":
+        return _run_slo(args)
     if args.command == "faults":
         return _run_faults(args)
     if args.command == "trace":

@@ -1,0 +1,210 @@
+"""The shared fleet cost model: predicted TTFT/ITL per candidate engine.
+
+One model serves all three control-plane threads (router, decode
+admission, autoscaler), so their decisions cannot disagree about what a
+placement costs. Predictions reuse the calibrated analytical pricing in
+:mod:`repro.models.perf` against each engine's own
+:class:`~repro.hw.spec.GpuSpec`/:class:`~repro.hw.spec.HwSpec` — that is
+the whole heterogeneity story: an H100 candidate quotes a cheaper prefill
+and an L4 candidate a dearer long-context decode through the *same*
+formulas, and per-role fitness falls out of the arithmetic.
+
+The prediction is an **admission prior**, not a simulation: it prices the
+batch the engine would run *right now* and folds queueing in as coarse,
+documented terms. It is deliberately optimistic-but-monotone — good
+enough to rank candidates and to detect hopeless requests, cheap enough
+to evaluate per (request, engine) pair at submit time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.control.config import ControlConfig
+from repro.models.perf import StepWorkload, model_step_latency
+from repro.runtime.request import Request
+
+#: Residency-tier load-stall priors (seconds): the paper's §5.2 ~2 ms
+#: host->GPU PCIe copy for a rank-16 7B adapter, and a 16x multiple for a
+#: cold DISK hit (NVMe read + host staging before the PCIe copy).
+HOST_LOAD_SECONDS = 0.002
+DISK_LOAD_SECONDS = 0.032
+
+
+@dataclass(frozen=True)
+class LatencyEstimate:
+    """Predicted service quality of placing one request on one engine."""
+
+    ttft: float
+    """Predicted seconds until the request's first token on this engine."""
+    itl: float
+    """Predicted steady inter-token seconds once it joins the batch."""
+    ttft_headroom: float
+    """``ttft_deadline - elapsed - ttft`` (negative = modelled miss)."""
+    itl_headroom: float
+    """``itl_deadline - itl`` (negative = modelled miss)."""
+    fitness: float
+    """min of the deadline-normalized headrooms — the router's sort key.
+    Normalizing by each deadline makes TTFT and ITL slack comparable, so
+    one score ranks a fast-prefill part against a fast-decode part."""
+
+
+class FleetCostModel:
+    """Prices candidate placements across a (possibly mixed) engine pool."""
+
+    def __init__(
+        self,
+        control: "ControlConfig | None" = None,
+        host_load_seconds: float = HOST_LOAD_SECONDS,
+        disk_load_seconds: float = DISK_LOAD_SECONDS,
+    ) -> None:
+        self.control = control or ControlConfig()
+        self.host_load_seconds = host_load_seconds
+        self.disk_load_seconds = disk_load_seconds
+        self._floor_cache: "dict[tuple[str, int, int], float]" = {}
+
+    # -- pieces ----------------------------------------------------------
+    def load_stall(self, engine, request: Request) -> float:
+        """Adapter residency cost: GPU-resident adapters are free, HOST
+        pays one PCIe copy, DISK pays the cold-read prior."""
+        tier_of = getattr(engine, "adapter_tier", None)
+        tier = tier_of(request.lora_id) if tier_of is not None else 0
+        if tier >= 2:
+            return 0.0
+        return self.host_load_seconds if tier == 1 else self.disk_load_seconds
+
+    def _running_kv_lens(self, engine) -> "list[int]":
+        return [
+            r.kv_len for r in engine.all_requests() if not r.needs_prefill
+        ]
+
+    def _pending_prefill_lens(self, engine, request: Request) -> "list[int]":
+        return [
+            r.effective_prompt_len
+            for r in engine.all_requests()
+            if r.needs_prefill and r.request_id != request.request_id
+        ]
+
+    def _price(self, backend, work: StepWorkload) -> float:
+        return (
+            model_step_latency(
+                backend.config, backend.cost_model, work,
+                tp=backend.tp, flags=backend.flags,
+            )
+            + backend.step_overhead
+        )
+
+    def _segments(self, backend, prefill_tokens: int, decodes: int):
+        if not getattr(backend, "serve_lora", False):
+            return None
+        segs: "list[int]" = []
+        if prefill_tokens:
+            segs.append(prefill_tokens)
+        segs.extend([1] * decodes)
+        return tuple(segs)
+
+    # -- predictions -----------------------------------------------------
+    def predict_ttft(self, engine, request: Request) -> float:
+        """Seconds from placement to the request's first token.
+
+        Terms: adapter load stall + one mixed prefill invocation (the
+        request's full effective prompt alongside the engine's current
+        decodes — Punica batches prefill with running decodes, §5) + a
+        queue-depth term charging one solo prefill step for every request
+        already waiting to prefill on this engine (the engine prefills at
+        most one per invocation, so pending prefills serialize ahead of
+        ours — a coarse upper-ish prior, documented in docs/slo.md).
+        """
+        backend = engine.backend
+        prompt = max(1, request.effective_prompt_len)
+        running = self._running_kv_lens(engine)
+        work = StepWorkload(
+            prefill_lens=(prompt,),
+            decode_kv_lens=tuple(running),
+            lora_segments=self._segments(backend, prompt, len(running)),
+            lora_rank=backend.lora_rank,
+        )
+        t = self.load_stall(engine, request) + self._price(backend, work)
+        for other in self._pending_prefill_lens(engine, request):
+            t += self._price(
+                backend,
+                StepWorkload(
+                    prefill_lens=(max(1, other),),
+                    lora_segments=self._segments(backend, max(1, other), 0),
+                    lora_rank=backend.lora_rank,
+                ),
+            )
+        return t
+
+    def predict_itl(self, engine, request: Request) -> float:
+        """Steady per-token seconds once the request decodes here: one
+        all-decode invocation over the engine's running batch plus this
+        request attending over its own prompt-length history."""
+        backend = engine.backend
+        kv_lens = self._running_kv_lens(engine)
+        kv_lens.append(max(1, request.effective_prompt_len))
+        work = StepWorkload(
+            decode_kv_lens=tuple(kv_lens),
+            lora_segments=self._segments(backend, 0, len(kv_lens)),
+            lora_rank=backend.lora_rank,
+        )
+        return self._price(backend, work)
+
+    def estimate(self, engine, request: Request, now: float) -> LatencyEstimate:
+        """Full candidate scoring against the request's tenant policy."""
+        policy = self.control.policy_for(request.lora_id)
+        elapsed = max(0.0, now - request.spec.arrival_time)
+        ttft = self.predict_ttft(engine, request)
+        itl = self.predict_itl(engine, request)
+        ttft_headroom = policy.ttft_deadline - elapsed - ttft
+        itl_headroom = policy.itl_deadline - itl
+        fitness = min(
+            ttft_headroom / policy.ttft_deadline,
+            itl_headroom / policy.itl_deadline,
+        )
+        return LatencyEstimate(
+            ttft=ttft, itl=itl,
+            ttft_headroom=ttft_headroom, itl_headroom=itl_headroom,
+            fitness=fitness,
+        )
+
+    # -- the optimistic floor (hopelessness test) ------------------------
+    def optimistic_floor(self, engine, request: Request) -> float:
+        """The best TTFT this engine could ever offer the request: a solo
+        prefill on an empty batch with the adapter already GPU-resident.
+        Cached per (device, prompt, rank) — it is placement-state-free."""
+        backend = engine.backend
+        prompt = max(1, request.effective_prompt_len)
+        key = (backend.gpu.name, prompt, backend.lora_rank)
+        cached = self._floor_cache.get(key)
+        if cached is None:
+            cached = self._price(
+                backend,
+                StepWorkload(
+                    prefill_lens=(prompt,),
+                    lora_segments=self._segments(backend, prompt, 0),
+                    lora_rank=backend.lora_rank,
+                ),
+            )
+            self._floor_cache[key] = cached
+        return cached
+
+    def best_floor(self, engines, request: Request) -> "float | None":
+        """Minimum optimistic floor over a candidate pool (None if empty)."""
+        floors = [
+            self.optimistic_floor(e, request)
+            for e in engines
+            if getattr(e, "alive", True)
+        ]
+        return min(floors) if floors else None
+
+    # -- fleet pricing ---------------------------------------------------
+    @staticmethod
+    def engine_cost_per_hour(engine) -> float:
+        """Relative dollar rate of one engine (1.0 when its spec predates
+        :class:`~repro.hw.spec.HwSpec` and carries no price)."""
+        return float(getattr(engine.backend.gpu, "cost_per_hour", 1.0))
+
+    @classmethod
+    def fleet_cost_per_hour(cls, engines) -> float:
+        return sum(cls.engine_cost_per_hour(e) for e in engines)

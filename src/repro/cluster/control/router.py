@@ -1,0 +1,196 @@
+"""SLO-aware admission and routing (thread (a) of the control plane).
+
+:class:`SloRouter` replaces Punica's pack rule and FCFS queue with
+deadline-headroom placement over the shared
+:class:`~repro.cluster.control.costmodel.FleetCostModel`:
+
+* **Placement** ranks every feasible engine by modelled fitness (the
+  min-normalized-headroom score), so a prefill-heavy request prefers the
+  high-FLOPs part and a long-decode request the high-bandwidth part of a
+  mixed fleet. Placement is best-effort: when every candidate's headroom
+  is negative the *least bad* one still wins — the prediction is a
+  coarse prior, and parking the request in a queue can only lose more
+  budget.
+* **Queueing** is earliest-deadline-first with no head blocking: any
+  queued request that fits is placed on a drain pass, and a queued
+  request whose remaining budget falls below the fleet's optimistic
+  floor is shed instead of waiting for a miss.
+* **Shedding** happens only on provable hopelessness: no engine in the
+  pool could meet the deadline even solo on an empty batch. The shed is
+  surfaced as an SLO_SHED trace event plus the standard FAILED terminal
+  path (via :attr:`SloRouter.on_shed`).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.cluster.control.config import ControlConfig
+from repro.cluster.control.costmodel import FleetCostModel
+from repro.cluster.scheduler import PunicaScheduler, SchedulerConfig
+from repro.obs.tracer import EventKind, Tracer
+from repro.runtime.request import Request
+
+
+class SloRouter(PunicaScheduler):
+    """Deadline-headroom router over a (possibly heterogeneous) pool.
+
+    Queue entries are ``(absolute deadline, seq, request)`` — the same
+    3-tuple shape as the base FCFS heap, so the inherited ``cancel`` and
+    ``drain_all_queued`` bookkeeping keeps working unchanged.
+    """
+
+    def __init__(
+        self,
+        engines: "list",
+        config: "SchedulerConfig | None" = None,
+        prefetcher=None,
+        tracer: "Tracer | None" = None,
+        control: "ControlConfig | None" = None,
+        cost: "FleetCostModel | None" = None,
+        metrics=None,
+    ):
+        super().__init__(engines, config, prefetcher, tracer=tracer)
+        self.control = control or ControlConfig()
+        self.cost = cost or FleetCostModel(self.control)
+        self.metrics = metrics
+        """Optional :class:`~repro.cluster.metrics.ClusterMetrics` fed the
+        SLO admit/shed series (the simulator install wires this)."""
+        self.on_shed = None
+        """``(request, now) -> None`` terminal-shed callback; the owning
+        simulator points this at its ``_shed`` path so refused requests
+        get the standard FAILED state + SHED event + sheds_total count."""
+        self.num_slo_sheds = 0
+
+    # ------------------------------------------------------------------
+    def _deadline(self, request: Request) -> float:
+        policy = self.control.policy_for(request.lora_id)
+        return request.spec.arrival_time + policy.ttft_deadline
+
+    def _remaining_budget(self, request: Request, now: float) -> float:
+        return self._deadline(request) - now
+
+    def _place_best(self, request: Request, now: float) -> "str | None":
+        """Admit onto the highest-fitness feasible engine (ties break to
+        adapter locality, then max UUID, like the base rule)."""
+        best = None
+        for gid, engine in self.engines.items():
+            if not self._prefill_capable(engine) or not engine.can_accept(request):
+                continue
+            est = self.cost.estimate(engine, request, now)
+            key = (est.fitness, self._adapter_locality(engine, request), gid)
+            if best is None or key > best[0]:
+                best = (key, gid, est)
+        if best is None:
+            return None
+        _, gpu, est = best
+        self.engines[gpu].add_request(request, now)
+        if self.tracer is not None:
+            self.tracer.emit(
+                now, EventKind.SLO_ADMIT, request.request_id, gpu,
+                headroom=round(est.ttft_headroom, 9),
+                ttft=round(est.ttft, 9),
+            )
+        if self.metrics is not None:
+            self.metrics.record_slo_admit(now, est.ttft_headroom)
+        return gpu
+
+    def _hopeless(self, request: Request, now: float) -> bool:
+        """No engine could meet the TTFT deadline even solo and empty."""
+        floor = self.cost.best_floor(
+            [e for e in self.engines.values() if self._prefill_capable(e)],
+            request,
+        )
+        if floor is None:
+            return True
+        return self._remaining_budget(request, now) < floor
+
+    def _shed_slo(self, request: Request, now: float) -> None:
+        self.num_slo_sheds += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                now, EventKind.SLO_SHED, request.request_id,
+                reason="deadline_infeasible",
+                budget=round(self._remaining_budget(request, now), 9),
+            )
+        if self.metrics is not None:
+            self.metrics.record_slo_shed(now)
+        if self.on_shed is not None:
+            self.on_shed(request, now)
+        else:
+            request.mark_failed("shed: deadline infeasible")
+
+    # ------------------------------------------------------------------
+    def submit(self, request: Request, now: float) -> "str | None":
+        if request.state.is_terminal:
+            return None
+        gpu = self._place_best(request, now)
+        if gpu is not None:
+            return gpu
+        if self.control.shed_infeasible and self._hopeless(request, now):
+            self._shed_slo(request, now)
+            return None
+        heapq.heappush(
+            self._queue, (self._deadline(request), self._queue_seq, request)
+        )
+        self._queue_seq += 1
+        self.num_queued_total += 1
+        if self.prefetcher is not None:
+            self.prefetcher.hint_queued(request.lora_id, now)
+        if self.tracer is not None:
+            self.tracer.emit(
+                now, EventKind.QUEUE, request.request_id,
+                reason="slo_wait", depth=len(self._queue),
+            )
+        return None
+
+    def drain_queue(self, now: float) -> "list[str]":
+        """EDF drain with no head blocking: place whatever fits, shed
+        whatever has become hopeless, keep the rest in deadline order."""
+        if not self._queue:
+            return []
+        placed: "list[str]" = []
+        keep: "list[tuple[float, int, Request]]" = []
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            request = entry[2]
+            if request.state.is_terminal:
+                continue
+            gpu = self._place_best(request, now)
+            if gpu is not None:
+                placed.append(gpu)
+                continue
+            if self.control.shed_infeasible and self._hopeless(request, now):
+                self._shed_slo(request, now)
+                continue
+            keep.append(entry)
+        self._queue = keep
+        heapq.heapify(self._queue)
+        return placed
+
+    def route_decode(self, request: Request, kv_tokens: int) -> "str | None":
+        """ITL-fitness-first decode admission: the engine whose predicted
+        inter-token latency leaves the most deadline headroom wins (ties
+        -> adapter locality -> largest working set -> max UUID). Subsumes
+        the adapter-locality-first rule: on a homogeneous idle pool every
+        candidate quotes the same ITL and locality decides, exactly as
+        before."""
+        policy = self.control.policy_for(request.lora_id)
+        best = None
+        for gid, engine in self.engines.items():
+            if not self._decode_capable(engine) or not engine.can_accept_import(
+                request, kv_tokens
+            ):
+                continue
+            itl_headroom = policy.itl_deadline - self.cost.predict_itl(
+                engine, request
+            )
+            key = (
+                itl_headroom,
+                self._adapter_locality(engine, request),
+                engine.working_set_size,
+                gid,
+            )
+            if best is None or key > best[0]:
+                best = (key, gid)
+        return best[1] if best is not None else None

@@ -34,7 +34,7 @@ back to re-prefill too.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.cluster.disagg.config import DisaggConfig
 from repro.cluster.events import EventHandle
@@ -87,13 +87,13 @@ class DisaggSimulator(ClusterSimulator):
                     f"engine {engine.gpu_id} backend lacks the KV handoff "
                     "interface (kv_export/kv_import)"
                 )
-        # Consolidation migrates via cancel + re-add, i.e. through the
-        # prefill pool — it would yank decoding requests back across the
-        # role split. Role-aware consolidation is a ROADMAP item.
+        # Consolidation migrates via cancel + re-add (§5.3); the
+        # scheduler's role-equality rule keeps every move inside its role
+        # pool, so a caller may now opt in with ``consolidation=True``.
+        # The default stays off: migration inside the prefill pool
+        # re-prefills work that was about to be handed off anyway.
         if scheduler_config is None:
             scheduler_config = SchedulerConfig(consolidation=False)
-        elif scheduler_config.consolidation:
-            scheduler_config = replace(scheduler_config, consolidation=False)
         super().__init__(
             engines,
             scheduler_config=scheduler_config,
@@ -113,6 +113,14 @@ class DisaggSimulator(ClusterSimulator):
         self._colocated: "set[str]" = set()
         """Requests decoding on their prefill GPU (backpressure fallback);
         never exported again."""
+        self.scheduler.migration_hook = self._on_migrate
+
+    def _on_migrate(self, request, source_id: str, target_id: str) -> None:
+        """Role-aware consolidation moved a request (§5.3 re-prefill on
+        the target): its old colocation decision dies with its KvCache —
+        after the move it is a fresh prefill on the target and eligible
+        for export (or a fresh fallback decision) there."""
+        self._colocated.discard(request.request_id)
 
     # ------------------------------------------------------------------
     # Queries

@@ -85,12 +85,25 @@ class ElasticClusterSimulator(ClusterSimulator):
         engine_factory: Callable[[str], object],
         elastic_config: ElasticConfig | None = None,
         scheduler_config=None,
+        registry=None,
+        prefetcher=None,
+        fault_injector=None,
+        tracer=None,
+        fast_path: bool | None = None,
     ):
         self.elastic = elastic_config or ElasticConfig()
         self.engine_factory = engine_factory
         self._next_gpu_index = self.elastic.min_gpus
         initial = [engine_factory(f"gpu{i:02d}") for i in range(self.elastic.min_gpus)]
-        super().__init__(initial, scheduler_config)
+        super().__init__(
+            initial,
+            scheduler_config,
+            registry=registry,
+            prefetcher=prefetcher,
+            fault_injector=fault_injector,
+            tracer=tracer,
+            fast_path=fast_path,
+        )
         self._leases: dict[str, GpuLease] = {
             e.gpu_id: GpuLease(gpu_id=e.gpu_id, start=0.0) for e in initial
         }
@@ -153,6 +166,14 @@ class ElasticClusterSimulator(ClusterSimulator):
         gpu_id = f"gpu{self._next_gpu_index:02d}"
         self._next_gpu_index += 1
         engine = self.engine_factory(gpu_id)
+        if self.tracer is not None:
+            # Engines provisioned mid-run need the same tracer threading
+            # the initial pool got in ClusterSimulator.__init__.
+            if hasattr(engine, "tracer"):
+                engine.tracer = self.tracer
+            store = getattr(getattr(engine, "loader", None), "store", None)
+            if store is not None:
+                store.tracer = self.tracer
         self.scheduler.add_engine(engine)
         self._gpu_busy[gpu_id] = False
         lease = GpuLease(gpu_id=gpu_id, start=now)

@@ -67,6 +67,26 @@ class TimeSeries:
         self._values[n] = v
         self._n = n + 1
 
+    def record_unordered(self, t: float, v: float) -> None:
+        """Insert a sample keeping time order.
+
+        The SLO router records at two interleaved clocks: loop events,
+        and step-completion times the fast path's inline coalescing runs
+        ahead of the loop. The occasional out-of-order sample pays an
+        O(n) shift; ties keep insertion order so replays stay stable.
+        """
+        n = self._n
+        if not n or t >= self._times[n - 1]:
+            self.record(t, v)
+            return
+        idx = int(np.searchsorted(self._times[:n], t, side="right"))
+        self._grow(n + 1)
+        self._times[idx + 1 : n + 1] = self._times[idx:n]
+        self._values[idx + 1 : n + 1] = self._values[idx:n]
+        self._times[idx] = t
+        self._values[idx] = v
+        self._n = n + 1
+
     def extend(self, times, values) -> None:
         """Bulk-append an already time-ordered run of samples."""
         k = len(times)
@@ -129,6 +149,14 @@ class TimeSeries:
         return float(self._values[i]) if i >= 0 else 0.0
 
 
+#: Deadline-headroom buckets (seconds). Deadlines are sub-second, so the
+#: interesting resolution is around zero; negative buckets keep the
+#: expected-miss placements distinguishable from comfortable admits.
+SLO_HEADROOM_BUCKETS = (
+    -1.0, -0.5, -0.1, 0.0, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
 @dataclass
 class ClusterMetrics:
     """Everything Fig 13 plots, collected during one simulation run."""
@@ -169,6 +197,16 @@ class ClusterMetrics:
     colocated_fallbacks: TimeSeries = field(default_factory=TimeSeries)
     """(time, 1) per prefilled request kept on its prefill GPU because the
     decode pool was saturated (disaggregated mode's escape hatch)."""
+    slo_admits: TimeSeries = field(default_factory=TimeSeries)
+    """(placement time, modelled deadline headroom in seconds) per request
+    the SLO router placed — negative headroom means a best-effort
+    placement the model expected to miss."""
+    slo_sheds: TimeSeries = field(default_factory=TimeSeries)
+    """(time, 1) per request the SLO router refused because no engine
+    could meet its deadline even under the optimistic floor."""
+    slo_outcomes: TimeSeries = field(default_factory=TimeSeries)
+    """(terminal time, 1 attained / 0 missed) per request scored against
+    its TTFT/ITL deadlines at run end."""
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     """The unified per-run registry every record_* call also feeds (the
     tests/test_metrics_parity.py contract keeps both views exactly equal)."""
@@ -227,6 +265,16 @@ class ClusterMetrics:
                   "KV handoffs lost to transfer faults (re-prefill)")
         r.counter("disagg_colocated_fallbacks_total",
                   "prefilled requests decoded in place: decode pool full")
+        r.counter("slo_attained_total",
+                  "requests that met their TTFT and ITL deadlines")
+        r.counter("slo_missed_total",
+                  "requests that blew a deadline or never finished")
+        r.counter("slo_sheds_total",
+                  "requests the SLO router refused: no feasible placement")
+        r.histogram("slo_deadline_headroom_seconds",
+                    "modelled TTFT headroom at placement (negative = the "
+                    "cost model already expected a miss)",
+                    buckets=SLO_HEADROOM_BUCKETS)
 
     def record_arrival(self, t: float) -> None:
         self.arrivals.record(t, 1.0)
@@ -442,6 +490,38 @@ class ClusterMetrics:
             "prefilled requests decoded in place: decode pool full",
         ).inc()
 
+    # -- SLO control plane -------------------------------------------------
+    def record_slo_admit(self, t: float, headroom: float) -> None:
+        """SLO router placed a request with ``headroom`` seconds of
+        modelled TTFT slack (may be negative for best-effort placements)."""
+        self.slo_admits.record_unordered(t, float(headroom))
+        self.registry.histogram(
+            "slo_deadline_headroom_seconds",
+            "modelled TTFT headroom at placement (negative = the "
+            "cost model already expected a miss)",
+            buckets=SLO_HEADROOM_BUCKETS,
+        ).observe(float(headroom))
+
+    def record_slo_shed(self, t: float) -> None:
+        self.slo_sheds.record_unordered(t, 1.0)
+        self.registry.counter(
+            "slo_sheds_total",
+            "requests the SLO router refused: no feasible placement",
+        ).inc()
+
+    def record_slo_outcome(self, t: float, attained: bool) -> None:
+        self.slo_outcomes.record(t, 1.0 if attained else 0.0)
+        if attained:
+            self.registry.counter(
+                "slo_attained_total",
+                "requests that met their TTFT and ITL deadlines",
+            ).inc()
+        else:
+            self.registry.counter(
+                "slo_missed_total",
+                "requests that blew a deadline or never finished",
+            ).inc()
+
     def ingest_adapter_events(self, events) -> None:
         """Fold store event logs (see
         :class:`~repro.adapters.store.AdapterEvent`) into the time series.
@@ -541,3 +621,23 @@ class ClusterMetrics:
 
     def colocated_fallback_count(self) -> int:
         return len(self.colocated_fallbacks)
+
+    def slo_shed_count(self) -> int:
+        return len(self.slo_sheds)
+
+    def slo_attained_count(self) -> int:
+        return int(np.sum(self.slo_outcomes.values)) if len(self.slo_outcomes) else 0
+
+    def slo_missed_count(self) -> int:
+        return len(self.slo_outcomes) - self.slo_attained_count()
+
+    def slo_attainment(self) -> float:
+        """Fraction of scored requests that met both deadlines."""
+        if not len(self.slo_outcomes):
+            return 0.0
+        return self.slo_attained_count() / len(self.slo_outcomes)
+
+    def mean_admit_headroom(self) -> float:
+        if not len(self.slo_admits):
+            return 0.0
+        return float(np.mean(self.slo_admits.values))

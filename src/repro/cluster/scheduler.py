@@ -78,6 +78,11 @@ class PunicaScheduler:
         self._queue_seq = 0
         self.num_migrations = 0
         self.num_queued_total = 0
+        self.migration_hook = None
+        """Optional ``(request, source_id, target_id) -> None`` called
+        after each consolidation move — the disaggregated simulator uses
+        it to keep its colocation bookkeeping consistent under
+        role-aware consolidation."""
 
     # ------------------------------------------------------------------
     # Elastic pool membership (§5.1: allocate/deallocate GPU servers)
@@ -321,17 +326,25 @@ class PunicaScheduler:
                 self.engines[target].add_request(request, now)
                 moved += 1
                 self.num_migrations += 1
+                if self.migration_hook is not None:
+                    self.migration_hook(request, source_id, target)
         return moved
 
     def _migration_target(self, source_id: str, request: Request) -> "str | None":
-        """Busiest other GPU that can absorb the request and is busier than
-        the source (otherwise migrating would un-consolidate)."""
+        """Busiest other GPU *of the source's role* that can absorb the
+        request and is busier than the source (otherwise migrating would
+        un-consolidate). The role-equality requirement makes consolidation
+        role-aware: in a disaggregated pool requests consolidate within
+        their role pool instead of leaking across the prefill/decode
+        split (colocated pools all carry role ``"both"``, so the check is
+        an identity there)."""
         source = self.engines[source_id]
+        source_role = getattr(source, "role", "both")
         candidates = [
             (e.working_set_size, self._adapter_locality(e, request), gid)
             for gid, e in self.engines.items()
             if gid != source_id
-            and self._prefill_capable(e)
+            and getattr(e, "role", "both") == source_role
             and e.working_set_size > source.working_set_size
             and e.can_accept(request)
         ]

@@ -12,12 +12,13 @@ from repro.hw.interconnect import NVLINK_A100, InterconnectSpec
 from repro.hw.kernels import KernelCostModel, SgmvWorkload
 from repro.hw.pcie import PCIE_GEN4_X16, PcieSpec, TransferPlan
 from repro.hw.roofline import RooflinePoint, roofline_latency, roofline_series
-from repro.hw.spec import A100_40G, A100_80G, GpuSpec
+from repro.hw.spec import A100_40G, A100_80G, GpuSpec, HwSpec
 
 __all__ = [
     "A100_40G",
     "A100_80G",
     "GpuSpec",
+    "HwSpec",
     "InterconnectSpec",
     "KernelCostModel",
     "NVLINK_A100",

@@ -114,6 +114,73 @@ class GpuSpec:
         return replace(self, **kwargs)  # type: ignore[arg-type]
 
 
+@dataclass(frozen=True)
+class HwSpec(GpuSpec):
+    """A :class:`GpuSpec` priced for heterogeneous-fleet planning.
+
+    Adds a *relative* ``cost_per_hour`` (unitless dollars; the a100-80g
+    preset anchors 1.0) so the control plane can compare fleets at equal
+    spend. The named presets deliberately span the fitness axes the SLO
+    router discriminates on: H100 is the FLOPs-heavy part (prefill), the
+    L4 class is the cheap low-bandwidth part (light decode), and A100-80G
+    sits in between with the paper's calibrated constants.
+    """
+
+    cost_per_hour: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.cost_per_hour <= 0:
+            raise ValueError(
+                f"cost_per_hour must be positive, got {self.cost_per_hour}"
+            )
+
+    @classmethod
+    def preset(cls, name: str) -> "HwSpec":
+        """Return a named fleet preset (``a100-80g`` | ``h100`` | ``l4``)."""
+        try:
+            return _HW_PRESETS[name]
+        except KeyError:
+            known = ", ".join(sorted(_HW_PRESETS))
+            raise ValueError(f"unknown HwSpec preset {name!r} (known: {known})") from None
+
+    @classmethod
+    def preset_names(cls) -> "tuple[str, ...]":
+        return tuple(sorted(_HW_PRESETS))
+
+
+_HW_PRESETS: "dict[str, HwSpec]" = {
+    # The paper's testbed part, at the reference price point.
+    "a100-80g": HwSpec(
+        name="A100-SXM4-80GB",
+        peak_fp16_flops=312 * TB,
+        hbm_bandwidth=1_935 * GB,
+        hbm_capacity=80 * GIB,
+        cost_per_hour=1.0,
+    ),
+    # H100 SXM: ~2x dense fp16 FLOPs and ~1.7x HBM bandwidth over A100,
+    # at roughly twice the rental price — the prefill-fitness part.
+    "h100": HwSpec(
+        name="H100-SXM5-80GB",
+        peak_fp16_flops=624 * TB,
+        hbm_bandwidth=3_350 * GB,
+        hbm_capacity=80 * GIB,
+        num_sms=132,
+        cost_per_hour=2.0,
+    ),
+    # L4-class inference part: modest FLOPs, narrow GDDR6 bus, 24 GB —
+    # cheap capacity for short-context decode working sets.
+    "l4": HwSpec(
+        name="L4-24GB",
+        peak_fp16_flops=121 * TB,
+        hbm_bandwidth=300 * GB,
+        hbm_capacity=24 * GIB,
+        num_sms=58,
+        cost_per_hour=0.25,
+    ),
+}
+
+
 #: Testbed #1: one A100 80GB SXM (1 935 GB/s HBM).
 A100_80G = GpuSpec(
     name="A100-SXM4-80GB",

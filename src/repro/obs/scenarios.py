@@ -22,7 +22,12 @@ regimes:
   carries the CONNECT/DISCONNECT lifecycle (docs/serving.md);
 * ``spec`` — a single engine with the speculative decoding lane armed,
   so the trace carries SPEC_DRAFT/SPEC_VERIFY/SPEC_ROLLBACK rounds and
-  multi-token decode bursts (docs/speculative.md).
+  multi-token decode bursts (docs/speculative.md);
+* ``slo`` — the full control plane on a heterogeneous elastic fleet:
+  the SLO router admits by deadline headroom (SLO_ADMIT / SLO_SHED) and
+  the predictive autoscaler grows and drains the pool (SCALE_UP /
+  SCALE_DOWN) under a burst that outruns the initial capacity
+  (docs/slo.md).
 
 ``tests/test_trace_golden.py`` replays these against checked-in JSONL
 fixtures; ``repro trace`` runs them from the shell. Keep them small —
@@ -256,6 +261,53 @@ def run_spec(seed: int = 0, fast_path: "bool | None" = None) -> ScenarioResult:
     return ScenarioResult("spec", tracer, requests, metrics=None)
 
 
+def run_slo(seed: int = 0, fast_path: "bool | None" = None) -> ScenarioResult:
+    """The SLO control plane on a heterogeneous elastic fleet: the pool
+    starts at one (slowed-down) A100 and the burst outruns it, so the
+    EWMA autoscaler provisions L4/A100 capacity (SCALE_UP), the router
+    places by deadline headroom (SLO_ADMIT), requests whose remaining
+    budget drops below the optimistic floor are refused (SLO_SHED +
+    SHED), and the drain tail releases the pool back to its floor
+    (SCALE_DOWN)."""
+    from repro.cluster.control import (
+        ControlConfig, PredictiveConfig, PredictiveElasticSimulator, SloPolicy,
+    )
+    from repro.cluster.elastic import ElasticConfig
+    from repro.hw.spec import HwSpec
+
+    presets = ("a100-80g", "l4", "a100-80g")
+
+    def factory(gpu_id: str) -> GpuEngine:
+        spec = HwSpec.preset(presets[int(gpu_id[3:]) % len(presets)])
+        return GpuEngine(
+            gpu_id,
+            SimulatedBackend(LLAMA2_7B, gpu=spec, step_overhead=0.1,
+                             fast_path=fast_path),
+            EngineConfig(max_batch_size=4),
+            fast_path=fast_path,
+        )
+
+    trace = _open_loop(seed, rate=10.0, duration=3.0)
+    tracer = Tracer()
+    sim = PredictiveElasticSimulator(
+        factory,
+        elastic_config=ElasticConfig(
+            min_gpus=1, max_gpus=3, provision_delay=0.8,
+            release_idle_after=0.5, check_interval=0.25,
+        ),
+        predictive=PredictiveConfig(service_rate_per_gpu=4.0),
+        control=ControlConfig(
+            default_policy=SloPolicy(ttft_deadline=0.6, itl_deadline=0.25),
+        ),
+        tracer=tracer,
+        fast_path=fast_path,
+    )
+    result = sim.run_elastic(trace)
+    return ScenarioResult(
+        "slo", tracer, result.base.requests, metrics=result.base.metrics
+    )
+
+
 SCENARIOS: "dict[str, Callable[..., ScenarioResult]]" = {
     "single_gpu": run_single_gpu,
     "cluster_migration": run_cluster_migration,
@@ -263,6 +315,7 @@ SCENARIOS: "dict[str, Callable[..., ScenarioResult]]" = {
     "disagg": run_disagg,
     "serve": run_serve,
     "spec": run_spec,
+    "slo": run_slo,
 }
 
 

@@ -66,6 +66,21 @@ class EventKind(enum.Enum):
     SPEC_ROLLBACK = "SPEC_ROLLBACK"
     """Rejected draft tokens released their KV slots (attrs: tokens,
     pages — both counts of what was rolled back)."""
+    SLO_ADMIT = "SLO_ADMIT"
+    """SLO router placed the request with positive modelled deadline
+    headroom (attrs: headroom seconds, ttft predicted; emitted at the same
+    timestamp as the companion PLACE so attribution tiling is unchanged)."""
+    SLO_SHED = "SLO_SHED"
+    """SLO router rejected the request because no engine could meet its
+    deadline even under the optimistic floor (attrs: reason, headroom;
+    emitted at the same timestamp as the terminal SHED)."""
+    SCALE_UP = "SCALE_UP"
+    """Predictive autoscaler requested new capacity (attrs: forecast
+    req/s, pool size before the grow, add count; request_id is None)."""
+    SCALE_DOWN = "SCALE_DOWN"
+    """Predictive autoscaler released an idle engine whose capacity the
+    forecast no longer needs (attrs: forecast, pool; request_id is None,
+    gpu_id = the released engine)."""
     CANCEL = "CANCEL"
     """Request cancelled (attrs: reason = user | deadline)."""
     FINISH = "FINISH"

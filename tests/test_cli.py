@@ -167,11 +167,40 @@ class TestSpecSubcommand:
         assert "SPEC_ROLLBACK" in text
 
 
+class TestSloSubcommand:
+    def test_deadline_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["slo", "--ttft-deadline", "0.5", "--itl-deadline", "0.05"]
+        )
+        assert args.ttft_deadline == 0.5
+        assert args.itl_deadline == 0.05
+
+    def test_ablation_table(self, tmp_path, capsys):
+        assert main(["slo", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "attainment" in out and "cost_hr" in out
+        assert "homo 4xA100" in out and "hetero H100+A100+4xL4" in out
+        saved = tmp_path / "slo.txt"
+        assert saved.exists()
+        assert "equal spend" in saved.read_text()
+
+    def test_trace_scenario(self, tmp_path, capsys):
+        trace_path = tmp_path / "slo.jsonl"
+        assert main(["trace", "slo", "--out", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario=slo" in out
+        text = trace_path.read_text()
+        assert "SLO_ADMIT" in text
+        assert "SLO_SHED" in text
+        assert "SCALE_UP" in text
+        assert "SCALE_DOWN" in text
+
+
 class TestTraceScenarioChoices:
     def test_every_registered_scenario_is_a_choice(self):
         parser = build_parser()
         for name in ("single_gpu", "cluster_migration", "faults", "disagg",
-                     "serve", "spec"):
+                     "serve", "spec", "slo"):
             assert parser.parse_args(["trace", name]).scenario == name
 
     def test_unknown_scenario_rejected(self):

@@ -83,12 +83,14 @@ class TestConstruction:
         assert sim.scheduler.engines["p0"].role == "prefill"
         assert sim.scheduler.engines["d0"].role == "decode"
 
-    def test_consolidation_forced_off(self):
+    def test_consolidation_off_by_default_but_honored_when_requested(self):
+        # Role-aware consolidation (the scheduler's role-equality rule)
+        # made opting in safe; the default stays off.
         sim = DisaggSimulator(
             [make_engine("p0")], [make_engine("d0")],
             scheduler_config=SchedulerConfig(consolidation=True),
         )
-        assert not sim.scheduler.config.consolidation
+        assert sim.scheduler.config.consolidation is True
         assert DisaggSimulator(
             [make_engine("p1")], [make_engine("d1")]
         ).scheduler.config.consolidation is False
@@ -103,6 +105,56 @@ class TestConstruction:
             INTERCONNECTS["pcie"].transfer_time(1e9)
             > NVLINK_A100.transfer_time(1e9)
         )
+
+
+class TestRoleAwareConsolidation:
+    def _request(self, rid):
+        from repro.runtime.request import Request
+        from repro.workloads.trace import RequestSpec
+
+        return Request(spec=RequestSpec(rid, "lora-0", 0.0, 16, 8))
+
+    def test_migration_target_stays_inside_the_role_pool(self):
+        sim = make_sim(num_prefill=2, num_decode=2, max_batch=8)
+        sched = sim.scheduler
+        mover = self._request("mover")
+        sched.engines["p0"].add_request(mover, 0.0)
+        # The busiest engine in the cluster is a *decode* engine; the
+        # role-equality rule must never pick it for a prefill request.
+        for i in range(3):
+            sched.engines["d0"].add_request(self._request(f"d{i}"), 0.0)
+        assert sched._migration_target("p0", mover) is None
+        # A busier engine of the *same* role is a legal target.
+        for i in range(2):
+            sched.engines["p1"].add_request(self._request(f"p{i}"), 0.0)
+        assert sched._migration_target("p0", mover) == "p1"
+
+    def test_consolidation_run_migrates_within_roles_only(self):
+        tracer = Tracer()
+        sim = make_sim(
+            num_prefill=2, num_decode=2, max_batch=4, step_overhead=0.05,
+            config=DisaggConfig(decode_queue_limit=2), tracer=tracer,
+        )
+        sim.scheduler.config = SchedulerConfig(
+            consolidation=True, migration_interval=0.2
+        )
+        result = sim.run(make_trace(rate=12.0))
+        roles = {gid: e.role for gid, e in sim.scheduler.engines.items()}
+        migrations = tracer.by_kind(EventKind.MIGRATE)
+        for e in migrations:
+            assert roles[e.gpu_id] == roles[e.attrs["target"]], (
+                f"{e.request_id} migrated across the role split: "
+                f"{e.gpu_id} -> {e.attrs['target']}"
+            )
+        for req in result.requests:
+            assert req.state is RequestState.FINISHED
+
+    def test_migration_hook_clears_colocation(self):
+        sim = make_sim(num_prefill=1, num_decode=1)
+        assert sim.scheduler.migration_hook == sim._on_migrate
+        sim._colocated.add("req-x")
+        sim._on_migrate(self._request("req-x"), "p0", "p1")
+        assert "req-x" not in sim._colocated
 
 
 class TestTwoStageLifecycle:

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.hw.spec import A100_40G, A100_80G, FP16_BYTES, GemvBandwidthModel, GpuSpec
+from repro.hw.spec import (
+    A100_40G,
+    A100_80G,
+    FP16_BYTES,
+    GemvBandwidthModel,
+    GpuSpec,
+    HwSpec,
+)
 from repro.utils.units import GB, GIB, TB, US
 
 
@@ -34,6 +41,45 @@ class TestGpuSpec:
 
     def test_fp16_bytes(self):
         assert FP16_BYTES == 2
+
+
+class TestHwSpec:
+    def test_preset_names(self):
+        assert set(HwSpec.preset_names()) == {"a100-80g", "h100", "l4"}
+
+    def test_a100_preset_matches_the_calibration_spec(self):
+        spec = HwSpec.preset("a100-80g")
+        assert spec.peak_fp16_flops == A100_80G.peak_fp16_flops
+        assert spec.hbm_bandwidth == A100_80G.hbm_bandwidth
+        assert spec.hbm_capacity == A100_80G.hbm_capacity
+        assert spec.cost_per_hour == 1.0
+
+    def test_preset_ordering(self):
+        a100, h100, l4 = (
+            HwSpec.preset(n) for n in ("a100-80g", "h100", "l4")
+        )
+        # Faster silicon costs more; the price list is the ablation's
+        # equal-spend axis, so the ordering is load-bearing.
+        assert h100.peak_fp16_flops > a100.peak_fp16_flops > l4.peak_fp16_flops
+        assert h100.hbm_bandwidth > a100.hbm_bandwidth > l4.hbm_bandwidth
+        assert h100.cost_per_hour > a100.cost_per_hour > l4.cost_per_hour
+        assert l4.hbm_capacity == 24 * GIB
+
+    def test_unknown_preset_lists_the_known_ones(self):
+        with pytest.raises(ValueError, match="a100-80g"):
+            HwSpec.preset("tpu-v5")
+
+    def test_is_a_gpu_spec(self):
+        # HwSpec flows anywhere a GpuSpec does (backend pricing).
+        assert isinstance(HwSpec.preset("h100"), GpuSpec)
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            HwSpec(name="free", peak_fp16_flops=1, hbm_bandwidth=1,
+                   hbm_capacity=1, cost_per_hour=0.0)
+        with pytest.raises(ValueError):
+            HwSpec(name="bad", peak_fp16_flops=0, hbm_bandwidth=1,
+                   hbm_capacity=1, cost_per_hour=1.0)
 
 
 class TestGemvBandwidthModel:

@@ -60,10 +60,19 @@ def _assert_parity(metrics: ClusterMetrics) -> None:
     for gpu_id, series in metrics.gpu_batch_size.items():
         assert steps.value(gpu=gpu_id) == len(series)
 
+    # SLO control-plane counters mirror their series views.
+    assert reg.get("slo_attained_total").total() == metrics.slo_attained_count()
+    assert reg.get("slo_missed_total").total() == metrics.slo_missed_count()
+    assert reg.get("slo_sheds_total").total() == metrics.slo_shed_count()
+    headroom = reg.get("slo_deadline_headroom_seconds")
+    assert headroom.count == len(metrics.slo_admits)
+    if headroom.count:
+        assert headroom.mean() == pytest.approx(metrics.mean_admit_headroom())
+
     reg.assert_finite()
 
 
-@pytest.mark.parametrize("scenario", ["cluster_migration", "faults"])
+@pytest.mark.parametrize("scenario", ["cluster_migration", "faults", "slo"])
 def test_registry_matches_legacy_series(scenario):
     result = run_scenario(scenario, seed=0)
     assert result.metrics is not None
@@ -105,7 +114,25 @@ def test_full_schema_declared_up_front():
     registry = ClusterMetrics().registry
     assert "adapter_evictions_total" in registry
     assert "recovery_latency_seconds" in registry
+    assert "slo_attained_total" in registry
+    assert "slo_missed_total" in registry
+    assert "slo_sheds_total" in registry
+    assert "slo_deadline_headroom_seconds" in registry
     snapshot = registry.to_json()
     assert len(snapshot) == len(registry.names())
     text = registry.render_prometheus()
     assert "repro_sheds_total 0.0" in text
+    assert "repro_slo_sheds_total 0.0" in text
+
+
+def test_slo_series_tolerate_out_of_order_recording():
+    """The SLO router records at two interleaved clocks (loop events vs
+    fast-path step completions running ahead); the series re-sorts."""
+    metrics = ClusterMetrics()
+    metrics.record_slo_admit(1.5, 0.2)
+    metrics.record_slo_admit(1.0, -0.1)
+    metrics.record_slo_admit(1.25, 0.05)
+    assert list(metrics.slo_admits.times) == [1.0, 1.25, 1.5]
+    assert list(metrics.slo_admits.values) == [-0.1, 0.05, 0.2]
+    hist = metrics.registry.get("slo_deadline_headroom_seconds")
+    assert hist.count == 3

@@ -26,7 +26,8 @@ from repro.obs.tracer import EventKind, TERMINAL_KINDS
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 SCENARIO_NAMES = (
-    "single_gpu", "cluster_migration", "faults", "disagg", "serve", "spec"
+    "single_gpu", "cluster_migration", "faults", "disagg", "serve", "spec",
+    "slo",
 )
 REGOLD = os.environ.get("REPRO_REGOLD", "") not in ("", "0")
 
@@ -61,6 +62,12 @@ REQUIRED_KINDS = {
         EventKind.SUBMIT, EventKind.PLACE, EventKind.PREFILL,
         EventKind.SPEC_DRAFT, EventKind.SPEC_VERIFY, EventKind.SPEC_ROLLBACK,
         EventKind.DECODE_STEP, EventKind.FINISH,
+    },
+    "slo": {
+        EventKind.SUBMIT, EventKind.QUEUE, EventKind.PLACE,
+        EventKind.SLO_ADMIT, EventKind.SLO_SHED, EventKind.SHED,
+        EventKind.SCALE_UP, EventKind.SCALE_DOWN,
+        EventKind.PREFILL, EventKind.DECODE_STEP, EventKind.FINISH,
     },
 }
 
